@@ -1,0 +1,813 @@
+//! The autodiff tape: forward-op recording and the reverse pass.
+
+use std::rc::Rc;
+
+use dgnn_tensor::{Csr, Matrix};
+
+use crate::params::{ParamId, ParamSet};
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// One recorded operation. Kept private: the public API is the builder
+/// methods on [`Tape`].
+#[derive(Debug)]
+enum Op {
+    /// Constant or parameter leaf; `param` links back to the [`ParamSet`].
+    Leaf { param: Option<ParamId> },
+    Add(Var, Var),
+    Sub(Var, Var),
+    /// Elementwise product. `a` and `b` may be the same variable.
+    Mul(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    MatMul(Var, Var),
+    Transpose(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    LeakyRelu(Var, f32),
+    Relu(Var),
+    Exp(Var),
+    /// `ln(1 + eˣ)` with a numerically stable forward.
+    Softplus(Var),
+    /// Add a `1 × d` row vector to every row.
+    AddRow(Var, Var),
+    /// Multiply every row elementwise by a `1 × d` row vector.
+    MulRow(Var, Var),
+    /// Multiply row `i` by scalar `col[i]` (`col` is `n × 1`).
+    MulCol(Var, Var),
+    SumAll(Var),
+    MeanAll(Var),
+    RowSum(Var),
+    ColMean(Var),
+    ConcatCols(Vec<Var>),
+    SliceCols { a: Var, start: usize, end: usize },
+    /// Embedding lookup: output row `i` is `a.row(idx[i])`.
+    Gather { a: Var, idx: Rc<Vec<usize>> },
+    /// Sparse propagation `A · b`; `at` is `Aᵀ` for the backward pass.
+    Spmm { at: Rc<Csr>, b: Var },
+    /// Row-wise LayerNorm without affine terms (compose with
+    /// [`Tape::mul_row`]/[`Tape::add_row`] for ω₁/ω₂ of the paper's Eq. 7).
+    LayerNormRow { a: Var, eps: f32 },
+    /// Row-wise L2 normalization (DGCF intent routing).
+    RowL2Norm { a: Var, eps: f32 },
+    /// `n × 1` of per-row dot products of two equally-shaped matrices.
+    RowDots(Var, Var),
+    SoftmaxRows(Var),
+    /// Per-segment softmax over a column vector of edge logits, segments
+    /// given by a CSR-style `seg` pointer (edges grouped by target node).
+    SegmentSoftmax { logits: Var, seg: Rc<Vec<usize>> },
+    /// `out[n] = Σ_{e ∈ seg(n)} w[e] · v.row(e)` — attention aggregation.
+    SegmentWeightedSum { w: Var, v: Var, seg: Rc<Vec<usize>> },
+    /// Elementwise product with a fixed (non-differentiated) mask.
+    Dropout { a: Var, mask: Matrix },
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// Records one forward pass and computes gradients on demand.
+///
+/// A tape is cheap to construct; build a fresh one per training step.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Forward value of a variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ---- leaves ---------------------------------------------------------
+
+    /// Records a constant (no gradient flows to it).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(Op::Leaf { param: None }, value)
+    }
+
+    /// Records a parameter leaf; its gradient is scattered back to the
+    /// [`ParamSet`] by [`Tape::backward_into`].
+    pub fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        self.push(Op::Leaf { param: Some(id) }, params.value(id).clone())
+    }
+
+    // ---- elementwise ----------------------------------------------------
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise `a ⊙ b` (same shape; `a` may equal `b`).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul_elem(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push(Op::Neg(a), v)
+    }
+
+    /// `k · a`.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).scale(k);
+        self.push(Op::Scale(a, k), v)
+    }
+
+    /// `a + k` (entrywise).
+    pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).map(|x| x + k);
+        self.push(Op::AddScalar(a), v)
+    }
+
+    // ---- linear algebra --------------------------------------------------
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// `aᵀ`.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Sparse propagation `adj · b`. The transpose is taken once and shared
+    /// via `Rc`, so pre-transpose and reuse across steps when possible (see
+    /// [`Tape::spmm_with`]).
+    pub fn spmm(&mut self, adj: &Rc<Csr>, b: Var) -> Var {
+        let at = Rc::new(adj.transpose());
+        self.spmm_with(adj, &at, b)
+    }
+
+    /// Sparse propagation with a caller-provided transpose (avoids
+    /// re-transposing the adjacency on every training step).
+    pub fn spmm_with(&mut self, adj: &Rc<Csr>, adj_t: &Rc<Csr>, b: Var) -> Var {
+        assert_eq!(adj.rows(), adj_t.cols(), "spmm_with: adj_t is not adjᵀ (shape)");
+        assert_eq!(adj.cols(), adj_t.rows(), "spmm_with: adj_t is not adjᵀ (shape)");
+        let v = adj.spmm(self.value(b));
+        self.push(Op::Spmm { at: Rc::clone(adj_t), b }, v)
+    }
+
+    // ---- activations -----------------------------------------------------
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// LeakyReLU with negative slope `alpha` (the paper uses 0.2).
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
+        self.push(Op::LeakyRelu(a, alpha), v)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Entrywise `eˣ`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// Numerically-stable `softplus(x) = ln(1 + eˣ)`.
+    ///
+    /// `mean(softplus(-(pos − neg)))` is exactly the paper's BPR loss
+    /// `-ln σ(pos − neg)` (Eq. 11); see [`Tape::bpr_loss`].
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+        self.push(Op::Softplus(a), v)
+    }
+
+    // ---- broadcasts ------------------------------------------------------
+
+    /// Adds the `1 × d` row vector `row` to every row of `a` (bias terms).
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(row));
+        self.push(Op::AddRow(a, row), v)
+    }
+
+    /// Multiplies every row of `a` elementwise by the `1 × d` vector `row`
+    /// (LayerNorm scale ω₁ in the paper's Eq. 7).
+    pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
+        let v = self.value(a).mul_row_broadcast(self.value(row));
+        self.push(Op::MulRow(a, row), v)
+    }
+
+    /// Multiplies row `i` of `a` by the scalar `col[i]` (`col` is `n × 1`;
+    /// memory-unit attention weighting in the paper's Eq. 3).
+    pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
+        let v = self.value(a).mul_col_broadcast(self.value(col));
+        self.push(Op::MulCol(a, col), v)
+    }
+
+    // ---- reductions ------------------------------------------------------
+
+    /// Scalar (`1 × 1`) sum of all entries.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(a).sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Scalar (`1 × 1`) mean of all entries.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(a).mean());
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// `n × 1` per-row sums.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let v = self.value(a).row_sums();
+        self.push(Op::RowSum(a), v)
+    }
+
+    /// `1 × d` per-column means (graph readout).
+    pub fn col_mean(&mut self, a: Var) -> Var {
+        let rows = self.value(a).rows().max(1) as f32;
+        let v = self.value(a).col_sums().scale(1.0 / rows);
+        self.push(Op::ColMean(a), v)
+    }
+
+    // ---- structure -------------------------------------------------------
+
+    /// Left-to-right concatenation (cross-layer aggregation, Eq. 8).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Matrix::concat_cols(&mats);
+        self.push(Op::ConcatCols(parts.to_vec()), v)
+    }
+
+    /// Copy of columns `[start, end)` (multi-head splitting).
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(Op::SliceCols { a, start, end }, v)
+    }
+
+    /// Embedding lookup: output row `i` is `a.row(idx[i])`. Duplicate
+    /// indices are allowed; their gradients accumulate.
+    pub fn gather(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
+        let v = self.value(a).gather_rows(&idx);
+        self.push(Op::Gather { a, idx }, v)
+    }
+
+    // ---- normalizers -----------------------------------------------------
+
+    /// Row-wise LayerNorm `(x − μ) / √(σ² + eps)` without affine terms.
+    pub fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
+        let x = self.value(a);
+        let mut v = x.clone();
+        for r in 0..v.rows() {
+            layer_norm_row(v.row_mut(r), eps);
+        }
+        self.push(Op::LayerNormRow { a, eps }, v)
+    }
+
+    /// Row-wise L2 normalization; rows with norm ≤ `eps` pass through.
+    pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let v = self.value(a).l2_normalize_rows(eps);
+        self.push(Op::RowL2Norm { a, eps }, v)
+    }
+
+    /// `n × 1` per-row dot products (scoring a batch of user/item pairs).
+    pub fn row_dots(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).row_dots(self.value(b));
+        self.push(Op::RowDots(a, b), v)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        self.push(Op::SoftmaxRows(a), v)
+    }
+
+    // ---- segment (edge-attention) ops -------------------------------------
+
+    /// Softmax over contiguous segments of an `E × 1` logit vector.
+    ///
+    /// `seg` is a CSR-style pointer of length `N + 1`: edges
+    /// `seg[n]..seg[n+1]` belong to target node `n`. This is the
+    /// "edge softmax" primitive behind every attention baseline (GraphRec,
+    /// HGT, KGAT, HAN, DisenHAN, SAMN).
+    pub fn segment_softmax(&mut self, logits: Var, seg: Rc<Vec<usize>>) -> Var {
+        let x = self.value(logits);
+        assert_eq!(x.cols(), 1, "segment_softmax: logits must be E × 1");
+        assert_eq!(
+            *seg.last().expect("segment pointer must be non-empty"),
+            x.rows(),
+            "segment_softmax: pointer does not cover all edges"
+        );
+        let mut v = x.clone();
+        for n in 0..seg.len() - 1 {
+            let (lo, hi) = (seg[n], seg[n + 1]);
+            softmax_slice(&mut v.as_mut_slice()[lo..hi]);
+        }
+        self.push(Op::SegmentSoftmax { logits, seg }, v)
+    }
+
+    /// Weighted segment sum: `out[n] = Σ_{e ∈ seg(n)} w[e] · v.row(e)`.
+    ///
+    /// With `w` from [`Tape::segment_softmax`] this is attention
+    /// aggregation; with constant weights it is plain neighborhood sum.
+    pub fn segment_weighted_sum(&mut self, w: Var, v: Var, seg: Rc<Vec<usize>>) -> Var {
+        let wv = self.value(w);
+        let vv = self.value(v);
+        assert_eq!(wv.cols(), 1, "segment_weighted_sum: weights must be E × 1");
+        assert_eq!(wv.rows(), vv.rows(), "segment_weighted_sum: weight/value mismatch");
+        assert_eq!(
+            *seg.last().expect("segment pointer must be non-empty"),
+            vv.rows(),
+            "segment_weighted_sum: pointer does not cover all edges"
+        );
+        let n = seg.len() - 1;
+        let d = vv.cols();
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            for e in seg[i]..seg[i + 1] {
+                let we = wv[(e, 0)];
+                for (o, &x) in out.row_mut(i).iter_mut().zip(vv.row(e)) {
+                    *o += we * x;
+                }
+            }
+        }
+        self.push(Op::SegmentWeightedSum { w, v, seg }, out)
+    }
+
+    // ---- misc --------------------------------------------------------------
+
+    /// Elementwise product with a fixed 0/`1/(1-p)` mask (inverted dropout).
+    /// The mask is treated as a constant.
+    pub fn dropout_mask(&mut self, a: Var, mask: Matrix) -> Var {
+        assert_eq!(self.value(a).shape(), mask.shape(), "dropout: mask shape mismatch");
+        let v = self.value(a).mul_elem(&mask);
+        self.push(Op::Dropout { a, mask }, v)
+    }
+
+    /// The paper's pairwise BPR objective (Eq. 11 without the weight-decay
+    /// term, which the optimizers apply):
+    /// `mean(softplus(−(pos − neg))) = mean(−ln σ(pos − neg))`.
+    pub fn bpr_loss(&mut self, pos_scores: Var, neg_scores: Var) -> Var {
+        let diff = self.sub(pos_scores, neg_scores);
+        let neg_diff = self.neg(diff);
+        let sp = self.softplus(neg_diff);
+        self.mean_all(sp)
+    }
+
+    // ---- reverse pass ------------------------------------------------------
+
+    /// Runs the reverse pass from `loss` (which must be `1 × 1`) and
+    /// *accumulates* parameter gradients into `params`. Returns the loss
+    /// value as `f32` for logging.
+    pub fn backward_into(&self, loss: Var, params: &mut ParamSet) -> f32 {
+        let grads = self.backward(loss);
+        for (i, g) in grads.iter().enumerate() {
+            if let (Op::Leaf { param: Some(id) }, Some(g)) = (&self.nodes[i].op, g) {
+                params.accumulate_grad(*id, g);
+            }
+        }
+        self.value(loss)[(0, 0)]
+    }
+
+    /// Runs the reverse pass and returns the gradient of `loss` with
+    /// respect to every node (None where no gradient flowed).
+    pub fn backward(&self, loss: Var) -> Vec<Option<Matrix>> {
+        let shape = self.value(loss).shape();
+        assert_eq!(shape, (1, 1), "backward: loss must be a 1×1 scalar, got {shape:?}");
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            self.backprop_node(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        grads
+    }
+
+    /// Gradient of `loss` w.r.t. one variable (convenience for tests).
+    pub fn grad_of(&self, loss: Var, wrt: Var) -> Option<Matrix> {
+        self.backward(loss).into_iter().nth(wrt.0).flatten()
+    }
+
+    fn accum(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+        match &mut grads[v.0] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        use Op::*;
+        match &self.nodes[i].op {
+            Leaf { .. } => {}
+            Add(a, b) => {
+                Self::accum(grads, *a, g.clone());
+                Self::accum(grads, *b, g.clone());
+            }
+            Sub(a, b) => {
+                Self::accum(grads, *a, g.clone());
+                Self::accum(grads, *b, g.scale(-1.0));
+            }
+            Mul(a, b) => {
+                Self::accum(grads, *a, g.mul_elem(self.value(*b)));
+                Self::accum(grads, *b, g.mul_elem(self.value(*a)));
+            }
+            Neg(a) => Self::accum(grads, *a, g.scale(-1.0)),
+            Scale(a, k) => Self::accum(grads, *a, g.scale(*k)),
+            AddScalar(a) => Self::accum(grads, *a, g.clone()),
+            MatMul(a, b) => {
+                // dA = G·Bᵀ ; dB = Aᵀ·G
+                Self::accum(grads, *a, g.matmul_nt(self.value(*b)));
+                Self::accum(grads, *b, self.value(*a).matmul_tn(g));
+            }
+            Transpose(a) => Self::accum(grads, *a, g.transpose()),
+            Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|s| s * (1.0 - s));
+                Self::accum(grads, *a, g.mul_elem(&dy));
+            }
+            Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|t| 1.0 - t * t);
+                Self::accum(grads, *a, g.mul_elem(&dy));
+            }
+            LeakyRelu(a, alpha) => {
+                let x = self.value(*a);
+                let dy = x.map(|v| if v >= 0.0 { 1.0 } else { *alpha });
+                Self::accum(grads, *a, g.mul_elem(&dy));
+            }
+            Relu(a) => {
+                let x = self.value(*a);
+                let dy = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                Self::accum(grads, *a, g.mul_elem(&dy));
+            }
+            Exp(a) => Self::accum(grads, *a, g.mul_elem(&self.nodes[i].value)),
+            Softplus(a) => {
+                let dy = self.value(*a).map(stable_sigmoid);
+                Self::accum(grads, *a, g.mul_elem(&dy));
+            }
+            AddRow(a, row) => {
+                Self::accum(grads, *a, g.clone());
+                Self::accum(grads, *row, g.col_sums());
+            }
+            MulRow(a, row) => {
+                Self::accum(grads, *a, g.mul_row_broadcast(self.value(*row)));
+                let grow = g.mul_elem(self.value(*a)).col_sums();
+                Self::accum(grads, *row, grow);
+            }
+            MulCol(a, col) => {
+                Self::accum(grads, *a, g.mul_col_broadcast(self.value(*col)));
+                let gcol = g.row_dots(self.value(*a));
+                Self::accum(grads, *col, gcol);
+            }
+            SumAll(a) => {
+                let (r, c) = self.value(*a).shape();
+                Self::accum(grads, *a, Matrix::full(r, c, g[(0, 0)]));
+            }
+            MeanAll(a) => {
+                let (r, c) = self.value(*a).shape();
+                let k = g[(0, 0)] / (r * c).max(1) as f32;
+                Self::accum(grads, *a, Matrix::full(r, c, k));
+            }
+            RowSum(a) => {
+                let (r, c) = self.value(*a).shape();
+                let ga = Matrix::from_fn(r, c, |row, _| g[(row, 0)]);
+                Self::accum(grads, *a, ga);
+            }
+            ColMean(a) => {
+                let (r, c) = self.value(*a).shape();
+                let k = 1.0 / r.max(1) as f32;
+                let ga = Matrix::from_fn(r, c, |_, col| g[(0, col)] * k);
+                Self::accum(grads, *a, ga);
+            }
+            ConcatCols(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let w = self.value(p).cols();
+                    Self::accum(grads, p, g.slice_cols(off, off + w));
+                    off += w;
+                }
+            }
+            SliceCols { a, start, end } => {
+                let (r, c) = self.value(*a).shape();
+                let mut ga = Matrix::zeros(r, c);
+                for row in 0..r {
+                    ga.row_mut(row)[*start..*end].copy_from_slice(g.row(row));
+                }
+                Self::accum(grads, *a, ga);
+            }
+            Gather { a, idx } => {
+                let (r, c) = self.value(*a).shape();
+                let mut ga = Matrix::zeros(r, c);
+                ga.scatter_add_rows(idx, g);
+                Self::accum(grads, *a, ga);
+            }
+            Spmm { at, b, .. } => {
+                Self::accum(grads, *b, at.spmm(g));
+            }
+            LayerNormRow { a, eps } => {
+                let x = self.value(*a);
+                let y = &self.nodes[i].value;
+                let (r, c) = x.shape();
+                let mut ga = Matrix::zeros(r, c);
+                for row in 0..r {
+                    layer_norm_backward_row(
+                        x.row(row),
+                        y.row(row),
+                        g.row(row),
+                        *eps,
+                        ga.row_mut(row),
+                    );
+                }
+                Self::accum(grads, *a, ga);
+            }
+            RowL2Norm { a, eps } => {
+                let x = self.value(*a);
+                let (r, c) = x.shape();
+                let mut ga = Matrix::zeros(r, c);
+                for row in 0..r {
+                    let xr = x.row(row);
+                    let gr = g.row(row);
+                    let norm = xr.iter().map(|v| v * v).sum::<f32>().sqrt();
+                    let out = ga.row_mut(row);
+                    if norm <= *eps {
+                        out.copy_from_slice(gr);
+                    } else {
+                        let dot: f32 = xr.iter().zip(gr).map(|(&x, &g)| x * g).sum();
+                        let n3 = norm * norm * norm;
+                        for k in 0..c {
+                            out[k] = gr[k] / norm - xr[k] * dot / n3;
+                        }
+                    }
+                }
+                Self::accum(grads, *a, ga);
+            }
+            RowDots(a, b) => {
+                Self::accum(grads, *a, self.value(*b).mul_col_broadcast(g));
+                Self::accum(grads, *b, self.value(*a).mul_col_broadcast(g));
+            }
+            SoftmaxRows(a) => {
+                let y = &self.nodes[i].value;
+                let (r, c) = y.shape();
+                let mut ga = Matrix::zeros(r, c);
+                for row in 0..r {
+                    softmax_backward(y.row(row), g.row(row), ga.row_mut(row));
+                }
+                Self::accum(grads, *a, ga);
+            }
+            SegmentSoftmax { logits, seg } => {
+                let y = &self.nodes[i].value;
+                let e = y.rows();
+                let mut ga = Matrix::zeros(e, 1);
+                for n in 0..seg.len() - 1 {
+                    let (lo, hi) = (seg[n], seg[n + 1]);
+                    let ys: Vec<f32> = (lo..hi).map(|e| y[(e, 0)]).collect();
+                    let gs: Vec<f32> = (lo..hi).map(|e| g[(e, 0)]).collect();
+                    let mut out = vec![0.0; hi - lo];
+                    softmax_backward(&ys, &gs, &mut out);
+                    for (k, e) in (lo..hi).enumerate() {
+                        ga[(e, 0)] = out[k];
+                    }
+                }
+                Self::accum(grads, *logits, ga);
+            }
+            SegmentWeightedSum { w, v, seg } => {
+                let wv = self.value(*w);
+                let vv = self.value(*v);
+                let e = vv.rows();
+                let d = vv.cols();
+                let mut gw = Matrix::zeros(e, 1);
+                let mut gv = Matrix::zeros(e, d);
+                for n in 0..seg.len() - 1 {
+                    let gn = g.row(n);
+                    for e in seg[n]..seg[n + 1] {
+                        let mut dot = 0.0;
+                        let we = wv[(e, 0)];
+                        let gv_row = gv.row_mut(e);
+                        for (k, &gk) in gn.iter().enumerate() {
+                            dot += gk * vv[(e, k)];
+                            gv_row[k] += we * gk;
+                        }
+                        gw[(e, 0)] = dot;
+                    }
+                }
+                Self::accum(grads, *w, gw);
+                Self::accum(grads, *v, gv);
+            }
+            Dropout { a, mask } => {
+                Self::accum(grads, *a, g.mul_elem(mask));
+            }
+        }
+    }
+}
+
+/// Sigmoid that never overflows `exp`.
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn layer_norm_row(row: &mut [f32], eps: f32) {
+    let n = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    for v in row {
+        *v = (*v - mean) * inv_std;
+    }
+}
+
+/// Standard LayerNorm gradient: `dx = (g − mean(g) − y·mean(g⊙y)) / σ`.
+fn layer_norm_backward_row(x: &[f32], y: &[f32], g: &[f32], eps: f32, out: &mut [f32]) {
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    let g_mean = g.iter().sum::<f32>() / n;
+    let gy_mean = g.iter().zip(y).map(|(&g, &y)| g * y).sum::<f32>() / n;
+    for k in 0..x.len() {
+        out[k] = (g[k] - g_mean - y[k] * gy_mean) * inv_std;
+    }
+}
+
+/// Softmax Jacobian-vector product: `dx = s ⊙ (g − ⟨g, s⟩)`.
+fn softmax_backward(s: &[f32], g: &[f32], out: &mut [f32]) {
+    let dot: f32 = s.iter().zip(g).map(|(&s, &g)| s * g).sum();
+    for k in 0..s.len() {
+        out[k] = s[k] * (g[k] - dot);
+    }
+}
+
+fn softmax_slice(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in xs {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_are_recorded() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::row_vector(&[1.0, 2.0]));
+        let b = t.constant(Matrix::row_vector(&[3.0, 4.0]));
+        let c = t.add(a, b);
+        assert_eq!(t.value(c).as_slice(), &[4.0, 6.0]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn simple_chain_gradient() {
+        // loss = mean(2 * (a + a)) = 4 * mean(a); d/da = 4/len
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::row_vector(&[1.0, 2.0]));
+        let s = t.add(a, a);
+        let s2 = t.scale(s, 2.0);
+        let loss = t.mean_all(s2);
+        let g = t.grad_of(loss, a).expect("gradient should flow to a");
+        assert_eq!(g.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_have_right_shapes() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_fn(2, 3, |r, c| (r + c) as f32));
+        let b = t.constant(Matrix::from_fn(3, 4, |r, c| (r * c) as f32 * 0.1));
+        let p = t.matmul(a, b);
+        let loss = t.sum_all(p);
+        let grads = t.backward(loss);
+        assert_eq!(grads[0].as_ref().map(Matrix::shape), Some((2, 3)));
+        assert_eq!(grads[1].as_ref().map(Matrix::shape), Some((3, 4)));
+    }
+
+    #[test]
+    fn bpr_loss_decreases_with_margin() {
+        let mut t = Tape::new();
+        let pos = t.constant(Matrix::col_vector(&[5.0]));
+        let neg = t.constant(Matrix::col_vector(&[0.0]));
+        let l_good = t.bpr_loss(pos, neg);
+        let pos2 = t.constant(Matrix::col_vector(&[0.0]));
+        let neg2 = t.constant(Matrix::col_vector(&[5.0]));
+        let l_bad = t.bpr_loss(pos2, neg2);
+        assert!(t.value(l_good)[(0, 0)] < t.value(l_bad)[(0, 0)]);
+    }
+
+    #[test]
+    fn segment_softmax_per_segment_sums_to_one() {
+        let mut t = Tape::new();
+        let logits = t.constant(Matrix::col_vector(&[1.0, 2.0, 3.0, -1.0, 0.5]));
+        let seg = Rc::new(vec![0usize, 2, 2, 5]); // segments of size 2, 0, 3
+        let s = t.segment_softmax(logits, seg);
+        let v = t.value(s);
+        assert!((v[(0, 0)] + v[(1, 0)] - 1.0).abs() < 1e-5);
+        assert!((v[(2, 0)] + v[(3, 0)] + v[(4, 0)] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn segment_weighted_sum_aggregates() {
+        let mut t = Tape::new();
+        let w = t.constant(Matrix::col_vector(&[0.5, 0.5, 2.0]));
+        let v = t.constant(Matrix::from_vec(3, 2, vec![2.0, 0.0, 4.0, 2.0, 1.0, 1.0]));
+        let seg = Rc::new(vec![0usize, 2, 3]);
+        let out = t.segment_weighted_sum(w, v, seg);
+        assert_eq!(t.value(out).row(0), &[3.0, 1.0]);
+        assert_eq!(t.value(out).row(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn param_grads_accumulate_into_set() {
+        let mut params = ParamSet::new();
+        let p = params.add("p", Matrix::row_vector(&[1.0, -1.0]));
+        let mut t = Tape::new();
+        let v = t.param(&params, p);
+        let sq = t.mul(v, v);
+        let loss = t.sum_all(sq);
+        params.zero_grads();
+        let l = t.backward_into(loss, &mut params);
+        assert!((l - 2.0).abs() < 1e-6);
+        // d/dv Σ v² = 2v
+        assert_eq!(params.grad(p).as_slice(), &[2.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a 1×1 scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::row_vector(&[1.0, 2.0]));
+        t.backward(a);
+    }
+
+    #[test]
+    fn grad_is_none_where_no_flow() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::full(1, 1, 1.0));
+        let b = t.constant(Matrix::full(1, 1, 2.0)); // unused
+        let loss = t.sum_all(a);
+        assert!(t.grad_of(loss, b).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared baseline scaffolding: configuration, the flexible training loop,
+//! and the cached-embedding scorer.
+
+use std::rc::Rc;
+
+use dgnn_autograd::{Adam, Optimizer, ParamSet, Tape, Var};
+use dgnn_data::{TrainSampler, Triple};
+use dgnn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyperparameters shared by all baselines (matched to DGNN's defaults so
+/// Table II compares architectures, not budgets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Propagation layers (where the model has a notion of layers).
+    pub layers: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// BPR batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            dim: 16,
+            layers: 2,
+            epochs: 30,
+            batch_size: 2048,
+            learning_rate: 0.01,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+/// Gathered per-batch triple indices as shared vectors for `Tape::gather`.
+pub(crate) struct BatchIdx {
+    pub users: Rc<Vec<usize>>,
+    pub pos: Rc<Vec<usize>>,
+    pub neg: Rc<Vec<usize>>,
+}
+
+impl BatchIdx {
+    pub fn new(triples: &[Triple]) -> Self {
+        Self {
+            users: Rc::new(triples.iter().map(|t| t.user as usize).collect()),
+            pos: Rc::new(triples.iter().map(|t| t.pos as usize).collect()),
+            neg: Rc::new(triples.iter().map(|t| t.neg as usize).collect()),
+        }
+    }
+}
+
+/// BPR loss over final user/item embedding matrices for a batch.
+pub(crate) fn bpr_from_embeddings(
+    tape: &mut Tape,
+    users_final: Var,
+    items_final: Var,
+    idx: &BatchIdx,
+) -> Var {
+    let ue = tape.gather(users_final, Rc::clone(&idx.users));
+    let pe = tape.gather(items_final, Rc::clone(&idx.pos));
+    let ne = tape.gather(items_final, Rc::clone(&idx.neg));
+    let ps = tape.row_dots(ue, pe);
+    let ns = tape.row_dots(ue, ne);
+    tape.bpr_loss(ps, ns)
+}
+
+/// Flexible training loop: `forward` receives the tape, parameters, the
+/// batch, and an RNG (for models with auxiliary sampling such as EATNN's
+/// social task or MHCN's embedding corruption) and returns the scalar loss.
+///
+/// Returns mean loss per epoch.
+pub(crate) fn train_loop(
+    epochs: usize,
+    batch_size: usize,
+    params: &mut ParamSet,
+    adam: &mut Adam,
+    sampler: &TrainSampler,
+    seed: u64,
+    mut forward: impl FnMut(&mut Tape, &ParamSet, &[Triple], &mut StdRng) -> Var,
+) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E11E5);
+    let batches = sampler.num_positives().div_ceil(batch_size).max(1);
+    let mut losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let mut epoch_loss = 0.0;
+        for _ in 0..batches {
+            let triples = sampler.batch(&mut rng, batch_size);
+            let mut tape = Tape::new();
+            let loss = forward(&mut tape, params, &triples, &mut rng);
+            params.zero_grads();
+            epoch_loss += tape.backward_into(loss, params);
+            params.clip_grad_norm(50.0);
+            adam.step(params);
+        }
+        losses.push(epoch_loss / batches as f32);
+    }
+    losses
+}
+
+/// Cached final embeddings + dot-product scoring — the inference side every
+/// baseline shares.
+#[derive(Debug)]
+pub(crate) struct Scorer {
+    pub user: Matrix,
+    pub item: Matrix,
+}
+
+impl Default for Scorer {
+    fn default() -> Self {
+        Self { user: Matrix::zeros(0, 0), item: Matrix::zeros(0, 0) }
+    }
+}
+
+impl Scorer {
+    pub fn score(&self, model_name: &str, user: usize, items: &[usize]) -> Vec<f32> {
+        assert!(
+            !self.user.is_empty(),
+            "{model_name}::score called before fit"
+        );
+        let u = self.user.row(user);
+        items
+            .iter()
+            .map(|&v| self.item.row(v).iter().zip(u).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    #[cfg(test)]
+    pub fn is_fitted(&self) -> bool {
+        !self.user.is_empty()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use dgnn_data::{tiny, Dataset};
+    use dgnn_eval::{evaluate_at, Trainable};
+
+    use super::BaselineConfig;
+
+    /// Fast config for smoke tests.
+    pub fn quick() -> BaselineConfig {
+        BaselineConfig { dim: 8, layers: 2, epochs: 4, batch_size: 256, ..Default::default() }
+    }
+
+    /// Trains the model on the tiny dataset and asserts it beats the
+    /// ~0.099 HR@10 of random ranking.
+    pub fn assert_beats_random(model: &mut dyn Trainable) -> f64 {
+        let data: Dataset = tiny(42);
+        model.fit(&data, 7);
+        let m = evaluate_at(model, &data.test, 10);
+        assert!(
+            m.hr > 0.12,
+            "{} HR@10 = {:.4} is not better than random",
+            model.name(),
+            m.hr
+        );
+        m.hr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_matches_dgnn() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.dim, 16);
+        assert_eq!(c.epochs, 30);
+        assert_eq!(c.batch_size, 2048);
+    }
+
+    #[test]
+    fn scorer_panics_before_fit() {
+        let s = Scorer::default();
+        assert!(!s.is_fitted());
+        let r = std::panic::catch_unwind(|| s.score("X", 0, &[0]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! **E4 — Figure 4**: module ablation. Compares full DGNN against the
+//! `-M` (no memory encoder), `-τ` (no social recalibration), and `-LN`
+//! (no per-layer LayerNorm) variants on all three datasets, HR@10 and
+//! NDCG@10.
+
+use dgnn_bench::{datasets, dgnn_config, run_cell, write_csv, SEED};
+use dgnn_core::Dgnn;
+
+fn main() {
+    let data = datasets();
+    let variants = [
+        ("DGNN", dgnn_config()),
+        ("-M", dgnn_config().without_memory()),
+        ("-tau", dgnn_config().without_recalibration()),
+        ("-LN", dgnn_config().without_layer_norm()),
+    ];
+
+    println!("=== Figure 4: module ablation (HR@10 / NDCG@10) ===\n");
+    let mut rows = Vec::new();
+    for ds in &data {
+        println!("{}:", ds.name);
+        for (name, cfg) in &variants {
+            let mut model = Dgnn::new(cfg.clone());
+            let cell = run_cell(&mut model, ds, SEED);
+            println!(
+                "  {:<6} HR@10 {:.4}   NDCG@10 {:.4}",
+                name, cell.metrics[1].hr, cell.metrics[1].ndcg
+            );
+            rows.push(format!(
+                "{},{},{:.6},{:.6}",
+                ds.name, name, cell.metrics[1].hr, cell.metrics[1].ndcg
+            ));
+        }
+        println!();
+    }
+    let path = write_csv("fig4", "dataset,variant,hr10,ndcg10", &rows);
+    println!("raw: {}", path.display());
+}

@@ -1,0 +1,82 @@
+//! **E7 — Figure 7**: hyperparameter study. Sweeps the hidden dimension
+//! `d ∈ {4, 8, 16, 32}`, the number of graph layers `L ∈ {0..3}`, and the
+//! number of memory units `|M| ∈ {2, 4, 8, 16}`, reporting the performance
+//! degradation ratio relative to the best setting (the paper's y-axis).
+//!
+//! Runs on ciao-s and yelp-s by default; pass `--full` to include
+//! epinions-s as in the paper.
+
+use dgnn_bench::{datasets, dgnn_config, run_cell, write_csv, SEED};
+use dgnn_core::{Dgnn, DgnnConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let data = datasets();
+    let selected: Vec<_> = data
+        .iter()
+        .filter(|d| full || d.name == "ciao-s" || d.name == "yelp-s")
+        .collect();
+
+    let sweeps: Vec<(&str, Vec<DgnnConfig>)> = vec![
+        (
+            "dimension d",
+            [4, 8, 16, 32].iter().map(|&dim| DgnnConfig { dim, ..dgnn_config() }).collect(),
+        ),
+        (
+            "layers L",
+            (0..=3).map(|layers| DgnnConfig { layers, ..dgnn_config() }).collect(),
+        ),
+        (
+            "memory units |M|",
+            [2, 4, 8, 16]
+                .iter()
+                .map(|&memory_units| DgnnConfig { memory_units, ..dgnn_config() })
+                .collect(),
+        ),
+    ];
+
+    println!("=== Figure 7: hyperparameter study (HR@10, NDCG@10) ===\n");
+    let mut rows = Vec::new();
+    for ds in &selected {
+        println!("{}:", ds.name);
+        for (sweep_name, configs) in &sweeps {
+            let mut cells = Vec::new();
+            for cfg in configs {
+                let mut model = Dgnn::new(cfg.clone());
+                let cell = run_cell(&mut model, ds, SEED);
+                cells.push((cfg.clone(), cell));
+            }
+            let best_hr = cells
+                .iter()
+                .map(|(_, c)| c.metrics[1].hr)
+                .fold(f64::NEG_INFINITY, f64::max);
+            println!("  sweep: {sweep_name}");
+            for (cfg, cell) in &cells {
+                let value = match *sweep_name {
+                    "dimension d" => cfg.dim,
+                    "layers L" => cfg.layers,
+                    _ => cfg.memory_units,
+                };
+                let degradation = (best_hr - cell.metrics[1].hr) / best_hr.max(1e-12);
+                println!(
+                    "    {value:>3}: HR@10 {:.4}  NDCG@10 {:.4}  (degradation {:.2}%)",
+                    cell.metrics[1].hr,
+                    cell.metrics[1].ndcg,
+                    degradation * 100.0
+                );
+                rows.push(format!(
+                    "{},{},{},{:.6},{:.6},{:.6}",
+                    ds.name,
+                    sweep_name.replace(' ', "_"),
+                    value,
+                    cell.metrics[1].hr,
+                    cell.metrics[1].ndcg,
+                    degradation
+                ));
+            }
+        }
+        println!();
+    }
+    let path = write_csv("fig7", "dataset,sweep,value,hr10,ndcg10,degradation", &rows);
+    println!("raw: {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! **E9 — Figure 8**: accuracy versus training epochs for DGNN, HGT, and
+//! DGCF (HR@10 and NDCG@10 after every epoch on all three datasets). The
+//! paper's claims under test: DGNN dominates at every epoch; HGT improves
+//! faster than DGCF early.
+
+use dgnn_baselines::{Dgcf, Hgt};
+use dgnn_bench::{baseline_config, datasets, dgnn_config, write_csv, SEED};
+use dgnn_core::Dgnn;
+use dgnn_eval::evaluate_at;
+
+fn main() {
+    let data = datasets();
+    println!("=== Figure 8: performance vs. training epochs ===\n");
+    let mut rows: Vec<String> = Vec::new();
+    for ds in &data {
+        println!("{}:", ds.name);
+
+        let mut dgnn = Dgnn::new(dgnn_config());
+        dgnn.fit_epochs(ds, SEED, |model, epoch, _| {
+            let m = evaluate_at(model, &ds.test, 10);
+            rows.push(format!("DGNN,{},{},{:.6},{:.6}", ds.name, epoch, m.hr, m.ndcg));
+        });
+
+        let mut hgt = Hgt::new(baseline_config());
+        hgt.fit_epochs(ds, SEED, |model, epoch, _| {
+            let m = evaluate_at(model, &ds.test, 10);
+            rows.push(format!("HGT,{},{},{:.6},{:.6}", ds.name, epoch, m.hr, m.ndcg));
+        });
+
+        let mut dgcf = Dgcf::new(baseline_config());
+        dgcf.fit_epochs(ds, SEED, |model, epoch, _| {
+            let m = evaluate_at(model, &ds.test, 10);
+            rows.push(format!("DGCF,{},{},{:.6},{:.6}", ds.name, epoch, m.hr, m.ndcg));
+        });
+
+        // Print a compact curve: every 4th epoch.
+        for model in ["DGNN", "HGT", "DGCF"] {
+            let series: Vec<&String> = rows
+                .iter()
+                .filter(|r| r.starts_with(&format!("{model},{}", ds.name)))
+                .collect();
+            print!("  {model:<5}");
+            for r in series.iter().step_by(4) {
+                let f: Vec<&str> = r.split(',').collect();
+                print!("  e{}: {}", f[2], &f[3][..6.min(f[3].len())]);
+            }
+            println!();
+        }
+        println!();
+    }
+    let path = write_csv("fig8", "model,dataset,epoch,hr10,ndcg10", &rows);
+    println!("raw: {}", path.display());
+}

@@ -1,0 +1,71 @@
+//! **E2 — Table II**: overall HR@10 / NDCG@10 of all 15 models on the
+//! three datasets, with the paper's "Imp" (DGNN improvement over each
+//! baseline) rows. Also persists the full grid (all cutoffs) to
+//! `results/grid.csv`, which `table3` reuses.
+
+use dgnn_bench::{
+    cutoff_index, datasets, improvement_pct, print_metric_table, roster, run_cell, write_csv,
+    CellResult, SEED,
+};
+
+fn main() {
+    let data = datasets();
+    let mut results: Vec<CellResult> = Vec::new();
+    for ds in &data {
+        for mut model in roster() {
+            eprintln!("training {} on {} …", model.name(), ds.name);
+            let cell = run_cell(model.as_mut(), ds, SEED);
+            eprintln!(
+                "  HR@10 {:.4}  NDCG@10 {:.4}  ({:.1?} train)",
+                cell.metrics[1].hr, cell.metrics[1].ndcg, cell.train_time
+            );
+            results.push(cell);
+        }
+    }
+
+    print_metric_table("Table II: overall performance", &results, 10);
+
+    // Improvement rows: DGNN vs every baseline, per dataset.
+    let i10 = cutoff_index(10);
+    println!("\n--- DGNN improvement over baselines (Imp, %) ---");
+    for ds in &data {
+        let dgnn = results
+            .iter()
+            .find(|r| r.model == "DGNN" && r.dataset == ds.name)
+            .expect("DGNN cell");
+        println!("{}:", ds.name);
+        for r in results.iter().filter(|r| r.dataset == ds.name && r.model != "DGNN") {
+            println!(
+                "  vs {:<10} HR +{:>6.2}%   NDCG +{:>6.2}%",
+                r.model,
+                improvement_pct(dgnn.metrics[i10].hr, r.metrics[i10].hr),
+                improvement_pct(dgnn.metrics[i10].ndcg, r.metrics[i10].ndcg),
+            );
+        }
+    }
+
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3}",
+                r.model,
+                r.dataset,
+                r.metrics[0].hr,
+                r.metrics[0].ndcg,
+                r.metrics[1].hr,
+                r.metrics[1].ndcg,
+                r.metrics[2].hr,
+                r.metrics[2].ndcg,
+                r.train_time.as_secs_f64(),
+                r.eval_time.as_secs_f64(),
+            )
+        })
+        .collect();
+    let path = write_csv(
+        "grid",
+        "model,dataset,hr5,ndcg5,hr10,ndcg10,hr20,ndcg20,train_s,eval_s",
+        &rows,
+    );
+    println!("\nraw grid: {}", path.display());
+}

@@ -1,0 +1,57 @@
+//! **E3 — Table III**: performance at varying top-N (HR/NDCG @5 and @20).
+//!
+//! Reuses `results/grid.csv` from a prior `table2` run when present (the
+//! runs are identical); otherwise re-runs the grid.
+
+use std::fs;
+
+use dgnn_bench::{datasets, print_metric_table, roster, run_cell, CellResult, SEED};
+use dgnn_eval::RankingMetrics;
+
+fn parse_grid(text: &str) -> Option<Vec<CellResult>> {
+    let mut out = Vec::new();
+    for line in text.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 10 {
+            return None;
+        }
+        let num = |i: usize| -> Option<f64> { f[i].parse().ok() };
+        out.push(CellResult {
+            model: f[0].to_string(),
+            dataset: f[1].to_string(),
+            metrics: [
+                RankingMetrics { hr: num(2)?, ndcg: num(3)? },
+                RankingMetrics { hr: num(4)?, ndcg: num(5)? },
+                RankingMetrics { hr: num(6)?, ndcg: num(7)? },
+            ],
+            train_time: std::time::Duration::from_secs_f64(num(8)?),
+            eval_time: std::time::Duration::from_secs_f64(num(9)?),
+        });
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+fn main() {
+    let results = match fs::read_to_string("results/grid.csv").ok().and_then(|t| parse_grid(&t))
+    {
+        Some(r) => {
+            eprintln!("reusing results/grid.csv from a prior table2 run");
+            r
+        }
+        None => {
+            eprintln!("no grid cache found; running the full grid");
+            let data = datasets();
+            let mut results = Vec::new();
+            for ds in &data {
+                for mut model in roster() {
+                    eprintln!("training {} on {} …", model.name(), ds.name);
+                    results.push(run_cell(model.as_mut(), ds, SEED));
+                }
+            }
+            results
+        }
+    };
+
+    print_metric_table("Table III: varying top-N", &results, 5);
+    print_metric_table("Table III: varying top-N", &results, 20);
+}

@@ -1,0 +1,49 @@
+//! **E8 — Table IV**: running time (seconds) per epoch for the efficiency
+//! study — DGCF, HGT, and DGNN, training and testing, on all three
+//! datasets. The paper's claim under test: DGNN < DGCF < HGT in training
+//! time, with the gap growing with graph size.
+
+use std::time::Instant;
+
+use dgnn_baselines::{BaselineConfig, Dgcf, Hgt};
+use dgnn_bench::{baseline_config, datasets, dgnn_config, write_csv, SEED};
+use dgnn_core::{Dgnn, DgnnConfig};
+use dgnn_data::Dataset;
+use dgnn_eval::{evaluate_at, Trainable};
+
+/// Epochs to average over.
+const TIMING_EPOCHS: usize = 3;
+
+fn time_model(model: &mut dyn Trainable, ds: &Dataset) -> (f64, f64) {
+    let t0 = Instant::now();
+    model.fit(ds, SEED);
+    let train_per_epoch = t0.elapsed().as_secs_f64() / TIMING_EPOCHS as f64;
+    let t1 = Instant::now();
+    let _ = evaluate_at(model, &ds.test, 10);
+    let test_time = t1.elapsed().as_secs_f64();
+    (train_per_epoch, test_time)
+}
+
+fn main() {
+    let data = datasets();
+    println!("=== Table IV: running time (seconds) per epoch ===\n");
+    println!("{:<8} {:>14} {:>14} {:>14}", "Model", "Dataset", "Train s/epoch", "Test s");
+    let mut rows = Vec::new();
+    for ds in &data {
+        eprintln!("dataset {} …", ds.name);
+        let bcfg = BaselineConfig { epochs: TIMING_EPOCHS, ..baseline_config() };
+        let dcfg = DgnnConfig { epochs: TIMING_EPOCHS, ..dgnn_config() };
+        let mut models: Vec<Box<dyn Trainable>> = vec![
+            Box::new(Dgcf::new(bcfg.clone())),
+            Box::new(Hgt::new(bcfg)),
+            Box::new(Dgnn::new(dcfg)),
+        ];
+        for model in &mut models {
+            let (tr, te) = time_model(model.as_mut(), ds);
+            println!("{:<8} {:>14} {:>14.3} {:>14.3}", model.name(), ds.name, tr, te);
+            rows.push(format!("{},{},{tr:.4},{te:.4}", model.name(), ds.name));
+        }
+    }
+    let path = write_csv("table4", "model,dataset,train_s_per_epoch,test_s", &rows);
+    println!("\nraw: {}", path.display());
+}

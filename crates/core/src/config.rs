@@ -1,0 +1,155 @@
+//! DGNN hyperparameters and ablation switches.
+
+/// Configuration of the DGNN model (Section V-A4 of the paper gives the
+/// tuned values the defaults reflect).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DgnnConfig {
+    /// Hidden dimensionality `d` (paper tunes {4, 8, 16, 32}; 16 is best).
+    pub dim: usize,
+    /// Number of propagation layers `L` (paper: 2 is best, 0–3 swept).
+    pub layers: usize,
+    /// Number of latent memory units `|M|` per relation family
+    /// (paper: 8 is best, {2, 4, 8, 16} swept).
+    pub memory_units: usize,
+    /// Adam learning rate (paper: 0.01).
+    pub learning_rate: f32,
+    /// Weight-decay coefficient λ of Eq. 11 (paper tunes
+    /// {1e-3, 1e-4, 1e-5}).
+    pub weight_decay: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// BPR batch size (paper searches 512–4096).
+    pub batch_size: usize,
+    /// LeakyReLU negative slope α (paper: 0.2).
+    pub leaky_slope: f32,
+    /// Ablation `-M`: `false` replaces the memory-augmented encoder with a
+    /// single shared transformation per relation family.
+    pub use_memory: bool,
+    /// Ablation `-τ`: `false` drops the social recalibration term from the
+    /// prediction (Eq. 9–10).
+    pub use_recalibration: bool,
+    /// Ablation `-LN`: `false` drops the per-layer LayerNorm of Eq. 7.
+    pub use_layer_norm: bool,
+    /// Ablation `-S`: `false` removes the social matrix `S` from the graph.
+    pub use_social: bool,
+    /// Ablation `-T`: `false` removes the item-relation matrix `T`.
+    pub use_knowledge: bool,
+}
+
+impl Default for DgnnConfig {
+    fn default() -> Self {
+        Self {
+            dim: 16,
+            layers: 2,
+            memory_units: 8,
+            learning_rate: 0.01,
+            weight_decay: 1e-4,
+            epochs: 30,
+            batch_size: 2048,
+            leaky_slope: 0.2,
+            use_memory: true,
+            use_recalibration: true,
+            use_layer_norm: true,
+            use_social: true,
+            use_knowledge: true,
+        }
+    }
+}
+
+impl DgnnConfig {
+    /// The `-M` variant of Figure 4.
+    pub fn without_memory(mut self) -> Self {
+        self.use_memory = false;
+        self
+    }
+
+    /// The `-τ` variant of Figure 4.
+    pub fn without_recalibration(mut self) -> Self {
+        self.use_recalibration = false;
+        self
+    }
+
+    /// The `-LN` variant of Figure 4.
+    pub fn without_layer_norm(mut self) -> Self {
+        self.use_layer_norm = false;
+        self
+    }
+
+    /// The `-S` variant of Figure 5.
+    pub fn without_social(mut self) -> Self {
+        self.use_social = false;
+        self
+    }
+
+    /// The `-T` variant of Figure 5.
+    pub fn without_knowledge(mut self) -> Self {
+        self.use_knowledge = false;
+        self
+    }
+
+    /// The `-ST` variant of Figure 5.
+    pub fn without_social_and_knowledge(self) -> Self {
+        self.without_social().without_knowledge()
+    }
+
+    /// Effective number of memory units after the `-M` ablation.
+    pub fn effective_memory_units(&self) -> usize {
+        if self.use_memory {
+            self.memory_units
+        } else {
+            1
+        }
+    }
+
+    /// Validates invariants; call before training.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an invalid configuration.
+    pub fn validate(&self) {
+        assert!(self.dim > 0, "dim must be positive");
+        assert!(self.memory_units > 0, "memory_units must be positive");
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.learning_rate > 0.0, "learning_rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.leaky_slope),
+            "leaky_slope must be in [0, 1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_tuning() {
+        let c = DgnnConfig::default();
+        assert_eq!(c.dim, 16);
+        assert_eq!(c.layers, 2);
+        assert_eq!(c.memory_units, 8);
+        assert!((c.learning_rate - 0.01).abs() < 1e-9);
+        assert!((c.leaky_slope - 0.2).abs() < 1e-9);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_builders_flip_flags() {
+        let c = DgnnConfig::default()
+            .without_memory()
+            .without_recalibration()
+            .without_layer_norm()
+            .without_social_and_knowledge();
+        assert!(!c.use_memory);
+        assert!(!c.use_recalibration);
+        assert!(!c.use_layer_norm);
+        assert!(!c.use_social);
+        assert!(!c.use_knowledge);
+        assert_eq!(c.effective_memory_units(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_rejected() {
+        DgnnConfig { dim: 0, ..DgnnConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,718 @@
+//! The DGNN model: memory-augmented heterogeneous message passing.
+
+use std::rc::Rc;
+
+use dgnn_autograd::{Adam, Optimizer, ParamId, ParamSet, Tape, Var};
+use dgnn_data::{Dataset, TrainSampler};
+use dgnn_eval::{Recommender, Trainable};
+use dgnn_graph::HeteroGraph;
+use dgnn_tensor::{Csr, CsrBuilder, Init, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::DgnnConfig;
+use crate::training::TrainLoop;
+
+/// The memory banks of the relation heterogeneity encoder: one per
+/// directed relation family plus one self-loop bank per node type
+/// ("non-sharing hyperparameter space", Section IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryBankKind {
+    /// user ← user (social influence messages).
+    SocialToUser,
+    /// user ← item (interaction messages, item side).
+    ItemToUser,
+    /// item ← user (interaction messages, user side).
+    UserToItem,
+    /// item ← relation node (knowledge messages).
+    RelToItem,
+    /// relation node ← item.
+    ItemToRel,
+    /// user self-propagation (Eq. 7's `φ(H[v])` term).
+    SelfUser,
+    /// item self-propagation.
+    SelfItem,
+    /// relation-node self-propagation.
+    SelfRel,
+}
+
+impl MemoryBankKind {
+    /// All banks, index-aligned with the internal storage.
+    pub const ALL: [MemoryBankKind; 8] = [
+        MemoryBankKind::SocialToUser,
+        MemoryBankKind::ItemToUser,
+        MemoryBankKind::UserToItem,
+        MemoryBankKind::RelToItem,
+        MemoryBankKind::ItemToRel,
+        MemoryBankKind::SelfUser,
+        MemoryBankKind::SelfItem,
+        MemoryBankKind::SelfRel,
+    ];
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("bank kind is in ALL")
+    }
+}
+
+/// One memory bank: `|M|` transformation matrices `W¹_m ∈ R^{d×d}` plus the
+/// attention projection `W² ∈ R^{d×|M|}` and bias `b ∈ R^{1×|M|}` of Eq. 3.
+struct Bank {
+    w1: Vec<ParamId>,
+    w2: ParamId,
+    bias: ParamId,
+}
+
+/// Per-layer, per-node-type LayerNorm affine terms (ω₁, ω₂ of Eq. 7).
+struct LnAffine {
+    scale: ParamId,
+    bias: ParamId,
+}
+
+/// Normalized adjacency bundle (all `Rc` so tapes share them per step).
+struct Adjacencies {
+    /// user ← user, rows jointly normalized by `1/(|N^S_u| + |N^Y_u|)`.
+    uu: Rc<Csr>,
+    uu_t: Rc<Csr>,
+    /// user ← item, same row normalizer.
+    uv: Rc<Csr>,
+    uv_t: Rc<Csr>,
+    /// item ← user, rows normalized by `1/(|N^Y_v| + |N^T_v|)`.
+    vu: Rc<Csr>,
+    vu_t: Rc<Csr>,
+    /// item ← relation node, same row normalizer.
+    vr: Rc<Csr>,
+    vr_t: Rc<Csr>,
+    /// relation ← item, rows normalized by `1/|N_r|`.
+    rv: Rc<Csr>,
+    rv_t: Rc<Csr>,
+    /// The recalibration operator τ: social averaging with a self loop,
+    /// `1/(|N^S_u| + 1)` (Eq. 9).
+    tau: Rc<Csr>,
+    tau_t: Rc<Csr>,
+}
+
+struct Handles {
+    e_user: ParamId,
+    e_item: ParamId,
+    e_rel: ParamId,
+    banks: Vec<Bank>,
+    /// Indexed `layer * 3 + node_type` (0=user, 1=item, 2=rel).
+    ln: Vec<LnAffine>,
+    adj: Adjacencies,
+    num_rels: usize,
+}
+
+/// The trained DGNN recommender.
+///
+/// Construct with [`Dgnn::new`], train with [`Trainable::fit`] (or
+/// [`Dgnn::fit_epochs`] for per-epoch hooks), then score through the
+/// [`Recommender`] trait.
+pub struct Dgnn {
+    cfg: DgnnConfig,
+    params: ParamSet,
+    handles: Option<Handles>,
+    pretrained: Option<crate::pretrain::PretrainedEmbeddings>,
+    /// `H*[u] + τ(H*[u])` rows used in the prediction dot product (Eq. 10).
+    user_scoring: Matrix,
+    /// `H*[u]` without recalibration (embedding visualization, Fig. 9).
+    user_final: Matrix,
+    /// `H*[v]`.
+    item_final: Matrix,
+    /// Per-user memory attention over the social bank at the last layer
+    /// (Fig. 10's "user-user memory weights").
+    attn_social: Matrix,
+    /// Per-user memory attention over the interaction bank (Fig. 10's
+    /// "user-item memory weights").
+    attn_interaction: Matrix,
+    /// Mean BPR loss per epoch.
+    pub loss_history: Vec<f32>,
+}
+
+impl Dgnn {
+    /// Creates an untrained model.
+    pub fn new(cfg: DgnnConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            params: ParamSet::new(),
+            handles: None,
+            pretrained: None,
+            user_scoring: Matrix::zeros(0, 0),
+            user_final: Matrix::zeros(0, 0),
+            item_final: Matrix::zeros(0, 0),
+            attn_social: Matrix::zeros(0, 0),
+            attn_interaction: Matrix::zeros(0, 0),
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &DgnnConfig {
+        &self.cfg
+    }
+
+    /// Warm-starts the embedding tables from a
+    /// [`crate::pretrain::Pretrainer`] run (the paper's future-work
+    /// "pre-trained framework" extension). Must be called before `fit`;
+    /// shapes are validated at fit time.
+    pub fn with_pretrained(mut self, emb: crate::pretrain::PretrainedEmbeddings) -> Self {
+        assert_eq!(
+            emb.user.cols(),
+            self.cfg.dim,
+            "pretrained dimensionality must match DgnnConfig::dim"
+        );
+        self.pretrained = Some(emb);
+        self
+    }
+
+    /// Final user embeddings `H*[u]` (available after training).
+    pub fn user_embeddings(&self) -> &Matrix {
+        &self.user_final
+    }
+
+    /// Final item embeddings `H*[v]`.
+    pub fn item_embeddings(&self) -> &Matrix {
+        &self.item_final
+    }
+
+    /// Per-user memory-attention vectors for the social or interaction
+    /// bank (the quantity visualized in the paper's Figure 10).
+    ///
+    /// # Panics
+    /// Panics for bank kinds other than `SocialToUser` / `UserToItem`, or
+    /// before training.
+    pub fn memory_attention(&self, kind: MemoryBankKind) -> &Matrix {
+        assert!(!self.user_scoring.is_empty(), "model not trained yet");
+        match kind {
+            MemoryBankKind::SocialToUser => &self.attn_social,
+            MemoryBankKind::UserToItem => &self.attn_interaction,
+            other => panic!("memory_attention: only user-side banks are dumped, got {other:?}"),
+        }
+    }
+
+    /// Trains with a per-epoch hook: after every epoch the final embeddings
+    /// are refreshed and `on_epoch(self, epoch, mean_loss)` fires with the
+    /// parameters *as of that epoch* — the driver for the paper's
+    /// accuracy-vs-epoch study (Figure 8).
+    pub fn fit_epochs(
+        &mut self,
+        data: &Dataset,
+        seed: u64,
+        mut on_epoch: impl FnMut(&Self, usize, f32),
+    ) {
+        let g = &data.graph;
+        self.init_params(g, seed);
+        let sampler = TrainSampler::new(g);
+        let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
+        let loop_cfg = TrainLoop {
+            epochs: self.cfg.epochs,
+            batch_size: self.cfg.batch_size,
+            ..TrainLoop::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB1E5_5ED);
+        let batches_per_epoch =
+            sampler.num_positives().div_ceil(loop_cfg.batch_size).max(1);
+        self.loss_history.clear();
+
+        for epoch in 0..loop_cfg.epochs {
+            let mut epoch_loss = 0.0;
+            for _ in 0..batches_per_epoch {
+                let triples = sampler.batch(&mut rng, loop_cfg.batch_size);
+                let mut tape = Tape::new();
+                let handles = self.handles.as_ref().expect("init_params sets handles");
+                let fwd = forward(&mut tape, &self.params, handles, &self.cfg);
+                let users: Rc<Vec<usize>> =
+                    Rc::new(triples.iter().map(|t| t.user as usize).collect());
+                let pos: Rc<Vec<usize>> =
+                    Rc::new(triples.iter().map(|t| t.pos as usize).collect());
+                let neg: Rc<Vec<usize>> =
+                    Rc::new(triples.iter().map(|t| t.neg as usize).collect());
+                let ue = tape.gather(fwd.user_scoring, users);
+                let pe = tape.gather(fwd.item_final, pos);
+                let ne = tape.gather(fwd.item_final, neg);
+                let ps = tape.row_dots(ue, pe);
+                let ns = tape.row_dots(ue, ne);
+                let loss = tape.bpr_loss(ps, ns);
+                self.params.zero_grads();
+                epoch_loss += tape.backward_into(loss, &mut self.params);
+                self.params.clip_grad_norm(loop_cfg.grad_clip);
+                adam.step(&mut self.params);
+            }
+            let mean = epoch_loss / batches_per_epoch as f32;
+            self.loss_history.push(mean);
+            self.finalize();
+            on_epoch(self, epoch, mean);
+        }
+        if loop_cfg.epochs == 0 {
+            self.finalize();
+        }
+    }
+
+    fn init_params(&mut self, g: &HeteroGraph, seed: u64) {
+        let cfg = &self.cfg;
+        let d = cfg.dim;
+        let m = cfg.effective_memory_units();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+
+        let (init_user, init_item, init_rel) = match &self.pretrained {
+            Some(pre) => {
+                assert_eq!(pre.user.shape(), (g.num_users(), d), "pretrained user table shape");
+                assert_eq!(pre.item.shape(), (g.num_items(), d), "pretrained item table shape");
+                // Burn the same number of RNG draws so downstream init
+                // (banks, LN) matches the non-pretrained seeding exactly.
+                let _ = Init::Uniform(0.1).build(g.num_users(), d, &mut rng);
+                let _ = Init::Uniform(0.1).build(g.num_items(), d, &mut rng);
+                let _ = Init::Uniform(0.1).build(g.num_relations().max(1), d, &mut rng);
+                (pre.user.clone(), pre.item.clone(), pre.rel.clone())
+            }
+            None => (
+                Init::Uniform(0.1).build(g.num_users(), d, &mut rng),
+                Init::Uniform(0.1).build(g.num_items(), d, &mut rng),
+                Init::Uniform(0.1).build(g.num_relations().max(1), d, &mut rng),
+            ),
+        };
+        let e_user = params.add("e_user", init_user);
+        let e_item = params.add("e_item", init_item);
+        let e_rel = params.add("e_rel", init_rel);
+
+        let mut banks = Vec::with_capacity(MemoryBankKind::ALL.len());
+        for kind in MemoryBankKind::ALL {
+            let w1 = (0..m)
+                .map(|i| {
+                    params.add(
+                        format!("{kind:?}/w1[{i}]"),
+                        Init::XavierUniform.build(d, d, &mut rng),
+                    )
+                })
+                .collect();
+            let w2 = params
+                .add(format!("{kind:?}/w2"), Init::XavierUniform.build(d, m, &mut rng));
+            let bias = params.add(format!("{kind:?}/b"), Matrix::zeros(1, m));
+            banks.push(Bank { w1, w2, bias });
+        }
+
+        let mut ln = Vec::new();
+        for layer in 0..cfg.layers {
+            for ty in ["user", "item", "rel"] {
+                let scale = params.add(format!("ln/{ty}/{layer}/scale"), Matrix::full(1, d, 1.0));
+                let bias = params.add(format!("ln/{ty}/{layer}/bias"), Matrix::zeros(1, d));
+                ln.push(LnAffine { scale, bias });
+            }
+        }
+
+        let adj = build_adjacencies(g, cfg);
+        self.handles =
+            Some(Handles { e_user, e_item, e_rel, banks, ln, adj, num_rels: g.num_relations() });
+        self.params = params;
+    }
+
+    /// Recomputes and caches the final embeddings and attention dumps from
+    /// the current parameters.
+    fn finalize(&mut self) {
+        let handles = self.handles.as_ref().expect("finalize after init");
+        let mut tape = Tape::new();
+        let fwd = forward(&mut tape, &self.params, handles, &self.cfg);
+        self.user_scoring = tape.value(fwd.user_scoring).clone();
+        self.user_final = tape.value(fwd.user_final).clone();
+        self.item_final = tape.value(fwd.item_final).clone();
+        self.attn_social = tape.value(fwd.attn_social).clone();
+        self.attn_interaction = tape.value(fwd.attn_interaction).clone();
+    }
+}
+
+impl Recommender for Dgnn {
+    fn name(&self) -> &str {
+        "DGNN"
+    }
+
+    fn score(&self, user: usize, items: &[usize]) -> Vec<f32> {
+        assert!(!self.user_scoring.is_empty(), "Dgnn::score called before fit");
+        let u = self.user_scoring.row(user);
+        items
+            .iter()
+            .map(|&v| self.item_final.row(v).iter().zip(u).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+}
+
+impl Trainable for Dgnn {
+    fn fit(&mut self, data: &Dataset, seed: u64) {
+        self.fit_epochs(data, seed, |_, _, _| {});
+    }
+}
+
+/// Forward-pass outputs (tape variables).
+struct Forward {
+    user_scoring: Var,
+    user_final: Var,
+    item_final: Var,
+    attn_social: Var,
+    attn_interaction: Var,
+}
+
+/// Memory-augmented encoding of a node family's features (Eq. 3): returns
+/// `(Σ_m η_m ⊙ (H·W¹_m), η)`. With `use_memory` off (`-M` ablation) the
+/// encoding collapses to the single transform `H·W¹_0` and η is uniform.
+fn encode(
+    tape: &mut Tape,
+    params: &ParamSet,
+    bank: &Bank,
+    h: Var,
+    cfg: &DgnnConfig,
+) -> (Var, Var) {
+    let m = cfg.effective_memory_units();
+    let w2 = tape.param(params, bank.w2);
+    let b = tape.param(params, bank.bias);
+    let logits = tape.matmul(h, w2);
+    let logits = tape.add_row(logits, b);
+    let eta = tape.leaky_relu(logits, cfg.leaky_slope);
+    if !cfg.use_memory {
+        let w1 = tape.param(params, bank.w1[0]);
+        let out = tape.matmul(h, w1);
+        return (out, eta);
+    }
+    let mut acc: Option<Var> = None;
+    for unit in 0..m {
+        let w1 = tape.param(params, bank.w1[unit]);
+        let transformed = tape.matmul(h, w1);
+        let eta_m = tape.slice_cols(eta, unit, unit + 1);
+        let weighted = tape.mul_col(transformed, eta_m);
+        acc = Some(match acc {
+            Some(a) => tape.add(a, weighted),
+            None => weighted,
+        });
+    }
+    (acc.expect("memory_units > 0"), eta)
+}
+
+/// Eq. 7: LayerNorm (with learned affine ω₁/ω₂) + activation + encoded
+/// self-propagation.
+fn layer_update(
+    tape: &mut Tape,
+    params: &ParamSet,
+    cfg: &DgnnConfig,
+    agg: Var,
+    h_prev: Var,
+    self_bank: &Bank,
+    ln: &LnAffine,
+) -> Var {
+    let normed = if cfg.use_layer_norm {
+        let n = tape.layer_norm_rows(agg, 1e-5);
+        let scale = tape.param(params, ln.scale);
+        let bias = tape.param(params, ln.bias);
+        let n = tape.mul_row(n, scale);
+        tape.add_row(n, bias)
+    } else {
+        agg
+    };
+    let activated = tape.leaky_relu(normed, cfg.leaky_slope);
+    let (self_msg, _) = encode(tape, params, self_bank, h_prev, cfg);
+    tape.add(activated, self_msg)
+}
+
+/// Full DGNN forward pass (Alg. 1 lines 4–19).
+fn forward(tape: &mut Tape, params: &ParamSet, h: &Handles, cfg: &DgnnConfig) -> Forward {
+    let bank = |k: MemoryBankKind| &h.banks[k.index()];
+    let has_knowledge = cfg.use_knowledge && h.num_rels > 0;
+
+    let mut hu = tape.param(params, h.e_user);
+    let mut hv = tape.param(params, h.e_item);
+    let mut hr = tape.param(params, h.e_rel);
+
+    let mut layers_u = vec![hu];
+    let mut layers_v = vec![hv];
+    let mut last_attn_social = None;
+    let mut last_attn_interaction = None;
+
+    for layer in 0..cfg.layers {
+        // -- per-source transformed messages (the factored Eq. 3) --------
+        let (msg_social, attn_social) =
+            encode(tape, params, bank(MemoryBankKind::SocialToUser), hu, cfg);
+        let (msg_item_to_user, _) =
+            encode(tape, params, bank(MemoryBankKind::ItemToUser), hv, cfg);
+        let (msg_user_to_item, attn_interaction) =
+            encode(tape, params, bank(MemoryBankKind::UserToItem), hu, cfg);
+        last_attn_social = Some(attn_social);
+        last_attn_interaction = Some(attn_interaction);
+
+        // -- user aggregation (Eq. 4) -------------------------------------
+        let from_items = tape.spmm_with(&h.adj.uv, &h.adj.uv_t, msg_item_to_user);
+        let agg_u = if cfg.use_social {
+            let from_social = tape.spmm_with(&h.adj.uu, &h.adj.uu_t, msg_social);
+            tape.add(from_social, from_items)
+        } else {
+            from_items
+        };
+
+        // -- item aggregation (Eq. 5) --------------------------------------
+        let from_users = tape.spmm_with(&h.adj.vu, &h.adj.vu_t, msg_user_to_item);
+        let agg_v = if has_knowledge {
+            let (msg_rel_to_item, _) =
+                encode(tape, params, bank(MemoryBankKind::RelToItem), hr, cfg);
+            let from_rels = tape.spmm_with(&h.adj.vr, &h.adj.vr_t, msg_rel_to_item);
+            tape.add(from_users, from_rels)
+        } else {
+            from_users
+        };
+
+        // -- relation-node aggregation (Eq. 6) ------------------------------
+        let agg_r = if has_knowledge {
+            let (msg_item_to_rel, _) =
+                encode(tape, params, bank(MemoryBankKind::ItemToRel), hv, cfg);
+            Some(tape.spmm_with(&h.adj.rv, &h.adj.rv_t, msg_item_to_rel))
+        } else {
+            None
+        };
+
+        // -- Eq. 7 per node type --------------------------------------------
+        let ln_base = layer * 3;
+        hu = layer_update(
+            tape,
+            params,
+            cfg,
+            agg_u,
+            hu,
+            bank(MemoryBankKind::SelfUser),
+            &h.ln[ln_base],
+        );
+        hv = layer_update(
+            tape,
+            params,
+            cfg,
+            agg_v,
+            hv,
+            bank(MemoryBankKind::SelfItem),
+            &h.ln[ln_base + 1],
+        );
+        if let Some(agg_r) = agg_r {
+            hr = layer_update(
+                tape,
+                params,
+                cfg,
+                agg_r,
+                hr,
+                bank(MemoryBankKind::SelfRel),
+                &h.ln[ln_base + 2],
+            );
+        }
+
+        layers_u.push(hu);
+        layers_v.push(hv);
+    }
+
+    // -- Eq. 8: cross-layer aggregation ------------------------------------
+    let cat_u = tape.concat_cols(&layers_u);
+    let cat_v = tape.concat_cols(&layers_v);
+    let user_final = tape.layer_norm_rows(cat_u, 1e-5);
+    let item_final = tape.layer_norm_rows(cat_v, 1e-5);
+
+    // -- Eq. 9–10: social recalibration τ -----------------------------------
+    let user_scoring = if cfg.use_recalibration {
+        let tau = tape.spmm_with(&h.adj.tau, &h.adj.tau_t, user_final);
+        tape.add(user_final, tau)
+    } else {
+        user_final
+    };
+
+    // Attention dumps come from the last layer's encoders; with L = 0 no
+    // encoder ran, so compute them from the input embeddings directly.
+    let (attn_social, attn_interaction) = match (last_attn_social, last_attn_interaction) {
+        (Some(s), Some(i)) => (s, i),
+        _ => {
+            let (_, s) = encode(tape, params, bank(MemoryBankKind::SocialToUser), hu, cfg);
+            let (_, i) = encode(tape, params, bank(MemoryBankKind::UserToItem), hu, cfg);
+            (s, i)
+        }
+    };
+
+    Forward { user_scoring, user_final, item_final, attn_social, attn_interaction }
+}
+
+/// Builds the jointly-normalized adjacency bundle of Eq. 4–6 and the τ
+/// operator of Eq. 9.
+fn build_adjacencies(g: &HeteroGraph, cfg: &DgnnConfig) -> Adjacencies {
+    let nu = g.num_users();
+    let nv = g.num_items();
+    let nr = g.num_relations().max(1);
+
+    // User rows: joint normalizer over social + interaction neighborhoods.
+    let mut uu = CsrBuilder::new(nu, nu);
+    let mut uv = CsrBuilder::new(nu, nv);
+    for u in 0..nu {
+        let deg_s = if cfg.use_social { g.friends_of(u).len() } else { 0 };
+        let deg_y = g.items_of(u).len();
+        let norm = 1.0 / (deg_s + deg_y).max(1) as f32;
+        if cfg.use_social {
+            for &f in g.friends_of(u) {
+                uu.push(u, f, norm);
+            }
+        }
+        for &v in g.items_of(u) {
+            uv.push(u, v, norm);
+        }
+    }
+
+    // Item rows: joint normalizer over interaction + knowledge.
+    let has_knowledge = cfg.use_knowledge && g.num_relations() > 0;
+    let mut vu = CsrBuilder::new(nv, nu);
+    let mut vr = CsrBuilder::new(nv, nr);
+    for v in 0..nv {
+        let deg_y = g.users_of(v).len();
+        let deg_t = if has_knowledge { g.ir().row_cols(v).len() } else { 0 };
+        let norm = 1.0 / (deg_y + deg_t).max(1) as f32;
+        for &u in g.users_of(v) {
+            vu.push(v, u, norm);
+        }
+        if has_knowledge {
+            for &r in g.ir().row_cols(v) {
+                vr.push(v, r, norm);
+            }
+        }
+    }
+
+    // Relation rows: plain mean.
+    let mut rv = CsrBuilder::new(nr, nv);
+    if has_knowledge {
+        for r in 0..g.num_relations() {
+            let items = g.ri().row_cols(r);
+            let norm = 1.0 / items.len().max(1) as f32;
+            for &v in items {
+                rv.push(r, v, norm);
+            }
+        }
+    }
+
+    // τ: social mean including self (Eq. 9). Without social edges it
+    // degrades to the identity, matching the formula with |N^S| = 0.
+    let mut tau = CsrBuilder::new(nu, nu);
+    for u in 0..nu {
+        let friends: &[usize] = if cfg.use_social { g.friends_of(u) } else { &[] };
+        let norm = 1.0 / (friends.len() + 1) as f32;
+        tau.push(u, u, norm);
+        for &f in friends {
+            tau.push(u, f, norm);
+        }
+    }
+
+    let rc = |b: CsrBuilder| {
+        let m = b.build();
+        let t = Rc::new(m.transpose());
+        (Rc::new(m), t)
+    };
+    let (uu, uu_t) = rc(uu);
+    let (uv, uv_t) = rc(uv);
+    let (vu, vu_t) = rc(vu);
+    let (vr, vr_t) = rc(vr);
+    let (rv, rv_t) = rc(rv);
+    let (tau, tau_t) = rc(tau);
+    Adjacencies { uu, uu_t, uv, uv_t, vu, vu_t, vr, vr_t, rv, rv_t, tau, tau_t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_data::tiny;
+    use dgnn_eval::evaluate_at;
+
+    fn quick_cfg() -> DgnnConfig {
+        DgnnConfig { dim: 8, layers: 2, memory_units: 4, epochs: 5, batch_size: 256, ..DgnnConfig::default() }
+    }
+
+    #[test]
+    fn trains_and_beats_random_ranking() {
+        let data = tiny(42);
+        let mut model = Dgnn::new(quick_cfg());
+        model.fit(&data, 7);
+        let m = evaluate_at(&model, &data.test, 10);
+        // Random ranking over 101 candidates gives HR@10 ≈ 0.099.
+        assert!(m.hr > 0.15, "HR@10 {} not better than random", m.hr);
+        assert!(model.loss_history.first() > model.loss_history.last());
+    }
+
+    #[test]
+    fn embeddings_have_cross_layer_width() {
+        let data = tiny(42);
+        let cfg = quick_cfg();
+        let width = (cfg.layers + 1) * cfg.dim;
+        let mut model = Dgnn::new(cfg);
+        model.fit(&data, 7);
+        assert_eq!(model.user_embeddings().cols(), width);
+        assert_eq!(model.item_embeddings().cols(), width);
+        assert_eq!(model.user_embeddings().rows(), data.graph.num_users());
+    }
+
+    #[test]
+    fn attention_dumps_have_memory_width() {
+        let data = tiny(42);
+        let cfg = quick_cfg();
+        let m_units = cfg.memory_units;
+        let mut model = Dgnn::new(cfg);
+        model.fit(&data, 7);
+        let a = model.memory_attention(MemoryBankKind::SocialToUser);
+        assert_eq!(a.shape(), (data.graph.num_users(), m_units));
+        let b = model.memory_attention(MemoryBankKind::UserToItem);
+        assert_eq!(b.shape(), (data.graph.num_users(), m_units));
+    }
+
+    #[test]
+    fn zero_layers_still_works() {
+        let data = tiny(42);
+        let mut model = Dgnn::new(DgnnConfig { layers: 0, ..quick_cfg() });
+        model.fit(&data, 7);
+        let m = evaluate_at(&model, &data.test, 10);
+        assert!(m.hr > 0.0);
+    }
+
+    #[test]
+    fn all_ablations_train() {
+        let data = tiny(42);
+        let base = DgnnConfig { epochs: 2, ..quick_cfg() };
+        let variants = [
+            base.clone().without_memory(),
+            base.clone().without_recalibration(),
+            base.clone().without_layer_norm(),
+            base.clone().without_social(),
+            base.clone().without_knowledge(),
+            base.clone().without_social_and_knowledge(),
+        ];
+        for cfg in variants {
+            let mut model = Dgnn::new(cfg.clone());
+            model.fit(&data, 7);
+            let m = evaluate_at(&model, &data.test, 10);
+            assert!(m.hr.is_finite(), "{cfg:?} produced NaN metrics");
+        }
+    }
+
+    #[test]
+    fn fit_epochs_hook_sees_training_progress() {
+        let data = tiny(42);
+        let mut model = Dgnn::new(DgnnConfig { epochs: 3, ..quick_cfg() });
+        let mut seen = Vec::new();
+        model.fit_epochs(&data, 7, |m, epoch, loss| {
+            // Model is scoreable inside the hook.
+            let metrics = evaluate_at(m, &data.test, 10);
+            seen.push((epoch, loss, metrics.hr));
+        });
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().all(|(_, l, _)| l.is_finite()));
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let data = tiny(42);
+        let mut a = Dgnn::new(DgnnConfig { epochs: 2, ..quick_cfg() });
+        let mut b = Dgnn::new(DgnnConfig { epochs: 2, ..quick_cfg() });
+        a.fit(&data, 3);
+        b.fit(&data, 3);
+        assert_eq!(a.loss_history, b.loss_history);
+        assert_eq!(a.user_embeddings().as_slice(), b.user_embeddings().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn scoring_untrained_model_panics() {
+        let model = Dgnn::new(quick_cfg());
+        model.score(0, &[1, 2]);
+    }
+}

@@ -1,0 +1,171 @@
+//! K-core filtering — the standard preprocessing step applied to raw
+//! review-site dumps before recommendation experiments (users/items with
+//! fewer than `k` interactions are removed iteratively until a fixed point,
+//! then ids are compacted).
+
+use dgnn_graph::{HeteroGraph, HeteroGraphBuilder};
+
+/// Iteratively removes users and items with fewer than `k` interactions,
+/// then rebuilds the graph with compacted contiguous ids. Social ties and
+/// item-relation links among surviving nodes are preserved; relation nodes
+/// that lose all their items are dropped and re-indexed too.
+///
+/// Returns the filtered graph together with the surviving original user and
+/// item ids (index = new id).
+pub fn k_core(g: &HeteroGraph, k: usize) -> (HeteroGraph, Vec<usize>, Vec<usize>) {
+    assert!(k >= 1, "k_core: k must be at least 1");
+    let mut user_alive = vec![true; g.num_users()];
+    let mut item_alive = vec![true; g.num_items()];
+
+    // Iterate to a fixed point: degrees only shrink, so this terminates.
+    loop {
+        let mut changed = false;
+        let mut user_deg = vec![0usize; g.num_users()];
+        let mut item_deg = vec![0usize; g.num_items()];
+        for u in 0..g.num_users() {
+            if !user_alive[u] {
+                continue;
+            }
+            for &v in g.items_of(u) {
+                if item_alive[v] {
+                    user_deg[u] += 1;
+                    item_deg[v] += 1;
+                }
+            }
+        }
+        for u in 0..g.num_users() {
+            if user_alive[u] && user_deg[u] < k {
+                user_alive[u] = false;
+                changed = true;
+            }
+        }
+        for v in 0..g.num_items() {
+            if item_alive[v] && item_deg[v] < k {
+                item_alive[v] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Compact ids.
+    let user_ids: Vec<usize> = (0..g.num_users()).filter(|&u| user_alive[u]).collect();
+    let item_ids: Vec<usize> = (0..g.num_items()).filter(|&v| item_alive[v]).collect();
+    let mut user_map = vec![usize::MAX; g.num_users()];
+    for (new, &old) in user_ids.iter().enumerate() {
+        user_map[old] = new;
+    }
+    let mut item_map = vec![usize::MAX; g.num_items()];
+    for (new, &old) in item_ids.iter().enumerate() {
+        item_map[old] = new;
+    }
+
+    // Relation nodes survive if any surviving item links to them.
+    let mut rel_alive = vec![false; g.num_relations()];
+    for &(v, r) in g.item_relations() {
+        if item_alive[v as usize] {
+            rel_alive[r as usize] = true;
+        }
+    }
+    let rel_ids: Vec<usize> = (0..g.num_relations()).filter(|&r| rel_alive[r]).collect();
+    let mut rel_map = vec![usize::MAX; g.num_relations()];
+    for (new, &old) in rel_ids.iter().enumerate() {
+        rel_map[old] = new;
+    }
+
+    let mut b = HeteroGraphBuilder::new(user_ids.len(), item_ids.len(), rel_ids.len());
+    for it in g.interactions() {
+        let (u, v) = (it.user as usize, it.item as usize);
+        if user_alive[u] && item_alive[v] {
+            b.interaction(user_map[u], item_map[v], it.time);
+        }
+    }
+    for &(a, c) in g.social_ties() {
+        let (a, c) = (a as usize, c as usize);
+        if user_alive[a] && user_alive[c] {
+            b.social_tie(user_map[a], user_map[c]);
+        }
+    }
+    for &(v, r) in g.item_relations() {
+        let (v, r) = (v as usize, r as usize);
+        if item_alive[v] && rel_alive[r] {
+            b.item_relation(item_map[v], rel_map[r]);
+        }
+    }
+    (b.build(), user_ids, item_ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> HeteroGraph {
+        let mut b = HeteroGraphBuilder::new(4, 5, 2);
+        // Users 0, 1 are well-connected; user 2 has one interaction with a
+        // popular item; user 3 has one interaction with a singleton item.
+        b.interaction(0, 0, 0)
+            .interaction(0, 1, 1)
+            .interaction(1, 0, 0)
+            .interaction(1, 1, 1)
+            .interaction(2, 0, 0)
+            .interaction(2, 1, 1)
+            .interaction(3, 4, 0)
+            .social_tie(0, 3)
+            .social_tie(0, 1)
+            .item_relation(0, 0)
+            .item_relation(4, 1);
+        b.build()
+    }
+
+    #[test]
+    fn two_core_drops_sparse_user_and_item() {
+        let (core, users, items) = k_core(&graph(), 2);
+        assert_eq!(users, vec![0, 1, 2], "user 3 has degree 1 after item 4 dies");
+        assert_eq!(items, vec![0, 1]);
+        assert_eq!(core.num_users(), 3);
+        assert_eq!(core.num_items(), 2);
+        // Social tie 0–3 dies with user 3; 0–1 survives (remapped).
+        assert_eq!(core.social_ties(), &[(0, 1)]);
+        // Relation node 1 (only on item 4) is dropped and re-indexed.
+        assert_eq!(core.num_relations(), 1);
+        assert_eq!(core.item_relations(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn one_core_removes_nothing_here() {
+        let g = graph();
+        let (core, users, items) = k_core(&g, 1);
+        assert_eq!(users.len(), g.num_users());
+        assert_eq!(items.len(), 5 - 2, "items 2, 3 have no interactions at all");
+        assert_eq!(core.interactions().len(), g.interactions().len());
+    }
+
+    #[test]
+    fn cascading_removal_reaches_fixed_point() {
+        // A chain: u0–v0–u1–v1, each endpoint degree 1: 2-core empties it.
+        let mut b = HeteroGraphBuilder::new(2, 2, 1);
+        b.interaction(0, 0, 0).interaction(1, 0, 0).interaction(1, 1, 0);
+        let (core, users, items) = k_core(&b.build(), 2);
+        // v1 (degree 1) dies, dropping u1 to degree 1; u0 starts at degree
+        // 1; the cascade unravels everything. Fixed point: empty graph.
+        assert!(users.is_empty(), "cascade should empty the graph: {users:?}");
+        assert!(items.is_empty());
+        assert_eq!(core.num_users(), 0);
+        assert_eq!(core.num_items(), 0);
+        assert_eq!(core.interactions().len(), 0);
+    }
+
+    #[test]
+    fn filtered_graph_satisfies_k_core_property() {
+        let data = crate::tiny(3);
+        let (core, _, _) = k_core(&data.graph, 3);
+        for u in 0..core.num_users() {
+            assert!(core.items_of(u).len() >= 3, "user {u} below core degree");
+        }
+        for v in 0..core.num_items() {
+            assert!(core.users_of(v).len() >= 3, "item {v} below core degree");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Additional ranking metrics beyond the paper's HR/NDCG — MRR,
+//! Precision@N, and Recall@N — for downstream users who report them.
+//!
+//! Under the paper's single-positive protocol these have simple closed
+//! relationships to HR (`Recall@N = HR@N`, `Precision@N = HR@N / N`), which
+//! the tests pin down; MRR adds rank resolution that HR lacks.
+
+use dgnn_data::TestInstance;
+
+use crate::Recommender;
+
+/// Extended metric bundle at one cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExtendedMetrics {
+    /// Mean reciprocal rank of the positive (not truncated at N).
+    pub mrr: f64,
+    /// Precision@N.
+    pub precision: f64,
+    /// Recall@N.
+    pub recall: f64,
+}
+
+/// Computes MRR / Precision@N / Recall@N under the 100-negative protocol.
+pub fn evaluate_extended(
+    model: &dyn Recommender,
+    test: &[TestInstance],
+    n: usize,
+) -> ExtendedMetrics {
+    assert!(n > 0, "evaluate_extended: cutoff must be positive");
+    assert!(!test.is_empty(), "evaluate_extended: empty test set");
+    let mut mrr = 0.0;
+    let mut hits = 0.0;
+    for case in test {
+        let candidates: Vec<usize> = case.candidates().map(|v| v as usize).collect();
+        let scores = model.score(case.user as usize, &candidates);
+        let pos = scores[0];
+        let rank = 1 + scores[1..].iter().filter(|&&s| s >= pos).count();
+        mrr += 1.0 / rank as f64;
+        if rank <= n {
+            hits += 1.0;
+        }
+    }
+    let m = test.len() as f64;
+    ExtendedMetrics { mrr: mrr / m, precision: hits / (m * n as f64), recall: hits / m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_at;
+
+    struct Oracle;
+    impl Recommender for Oracle {
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn score(&self, _u: usize, items: &[usize]) -> Vec<f32> {
+            items.iter().map(|&v| v as f32).collect()
+        }
+    }
+
+    fn case(pos: u32, negs: &[u32]) -> TestInstance {
+        TestInstance { user: 0, pos_item: pos, negatives: negs.to_vec() }
+    }
+
+    #[test]
+    fn recall_equals_hr_single_positive() {
+        let test =
+            vec![case(100, &[1, 2, 3]), case(0, &[10, 20, 30]), case(15, &[10, 20, 30])];
+        for n in [1usize, 2, 4] {
+            let ext = evaluate_extended(&Oracle, &test, n);
+            let base = evaluate_at(&Oracle, &test, n);
+            assert!((ext.recall - base.hr).abs() < 1e-12, "N={n}");
+            assert!((ext.precision - base.hr / n as f64).abs() < 1e-12, "N={n}");
+        }
+    }
+
+    #[test]
+    fn mrr_is_mean_of_reciprocal_ranks() {
+        // Case 1: rank 1 → 1.0; case 2: rank 4 → 0.25.
+        let test = vec![case(100, &[1, 2, 3]), case(0, &[10, 20, 30])];
+        let ext = evaluate_extended(&Oracle, &test, 10);
+        assert!((ext.mrr - (1.0 + 0.25) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_distinguishes_ranks_hr_cannot() {
+        // Both positives land inside the cutoff, at ranks 1 and 2:
+        // HR@5 identical, MRR not.
+        let rank1 = vec![case(100, &[1, 2, 3])];
+        let rank2 = vec![case(25, &[30, 1, 2])];
+        let a = evaluate_extended(&Oracle, &rank1, 5);
+        let b = evaluate_extended(&Oracle, &rank2, 5);
+        assert_eq!(a.recall, b.recall);
+        assert!(a.mrr > b.mrr);
+    }
+}

@@ -1,0 +1,330 @@
+//! The heterogeneous graph container.
+
+use dgnn_tensor::{Csr, CsrBuilder};
+
+/// Vertex families of the collaborative heterogeneous graph
+/// (`D = U ∪ V ∪ R`, Eq. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeType {
+    /// A user `u ∈ U`.
+    User,
+    /// An item `v ∈ V`.
+    Item,
+    /// A meta relation node `r ∈ R` (e.g. a product category).
+    Relation,
+}
+
+/// One observed user–item interaction `y_{i,j} = 1`, with a logical
+/// timestamp (sequence position) for the temporal baseline (DGRec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interaction {
+    /// User index in `0..num_users`.
+    pub user: u32,
+    /// Item index in `0..num_items`.
+    pub item: u32,
+    /// Logical time; larger = more recent.
+    pub time: u32,
+}
+
+/// Immutable heterogeneous graph with precomputed CSR views.
+///
+/// Constructed through [`HeteroGraphBuilder`]. All adjacencies store raw
+/// weight 1.0 per edge; models apply their own normalization
+/// (`row_normalized` / `sym_normalized`) at build time.
+#[derive(Debug, Clone)]
+pub struct HeteroGraph {
+    num_users: usize,
+    num_items: usize,
+    num_relations: usize,
+    interactions: Vec<Interaction>,
+    social: Vec<(u32, u32)>,
+    item_rels: Vec<(u32, u32)>,
+    ui: Csr,
+    iu: Csr,
+    ss: Csr,
+    ir: Csr,
+    ri: Csr,
+}
+
+impl HeteroGraph {
+    /// Number of users `|U|`.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of items `|V|`.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of meta relation nodes `|R|`.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Total vertices `|D| = |U| + |V| + |R|`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_users + self.num_items + self.num_relations
+    }
+
+    /// All interactions, in insertion order.
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// All undirected social ties, deduplicated with `a < b`.
+    pub fn social_ties(&self) -> &[(u32, u32)] {
+        &self.social
+    }
+
+    /// All item–relation links.
+    pub fn item_relations(&self) -> &[(u32, u32)] {
+        &self.item_rels
+    }
+
+    /// User → item adjacency (`|U| × |V|`, from `Y`).
+    pub fn ui(&self) -> &Csr {
+        &self.ui
+    }
+
+    /// Item → user adjacency (`|V| × |U|`, transpose of `Y`).
+    pub fn iu(&self) -> &Csr {
+        &self.iu
+    }
+
+    /// User → user social adjacency (`|U| × |U|`, symmetric).
+    pub fn ss(&self) -> &Csr {
+        &self.ss
+    }
+
+    /// Item → relation adjacency (`|V| × |R|`, from `T`).
+    pub fn ir(&self) -> &Csr {
+        &self.ir
+    }
+
+    /// Relation → item adjacency (`|R| × |V|`, transpose of `T`).
+    pub fn ri(&self) -> &Csr {
+        &self.ri
+    }
+
+    /// Items user `u` interacted with.
+    pub fn items_of(&self, user: usize) -> &[usize] {
+        self.ui.row_cols(user)
+    }
+
+    /// Users who interacted with item `v`.
+    pub fn users_of(&self, item: usize) -> &[usize] {
+        self.iu.row_cols(item)
+    }
+
+    /// Social neighbors `N^S(u)`.
+    pub fn friends_of(&self, user: usize) -> &[usize] {
+        self.ss.row_cols(user)
+    }
+
+    /// Interaction density `|Y| / (|U| · |V|)` — the paper's Table I
+    /// "Interaction Density Degree".
+    pub fn interaction_density(&self) -> f64 {
+        self.interactions.len() as f64 / (self.num_users as f64 * self.num_items as f64)
+    }
+
+    /// Social density `2|S| / |U|²` — the paper's Table I "Social Tie
+    /// Density Degree" (both directions counted, as in the paper's tie
+    /// counts).
+    pub fn social_density(&self) -> f64 {
+        (2 * self.social.len()) as f64 / (self.num_users as f64 * self.num_users as f64)
+    }
+
+    /// Directed social-tie count (each undirected tie counted twice, the
+    /// convention Table I uses).
+    pub fn num_social_ties_directed(&self) -> usize {
+        2 * self.social.len()
+    }
+}
+
+/// Incremental builder for [`HeteroGraph`].
+#[derive(Debug, Clone)]
+pub struct HeteroGraphBuilder {
+    num_users: usize,
+    num_items: usize,
+    num_relations: usize,
+    interactions: Vec<Interaction>,
+    social: Vec<(u32, u32)>,
+    item_rels: Vec<(u32, u32)>,
+}
+
+impl HeteroGraphBuilder {
+    /// Starts a builder with fixed vertex-set sizes.
+    pub fn new(num_users: usize, num_items: usize, num_relations: usize) -> Self {
+        Self {
+            num_users,
+            num_items,
+            num_relations,
+            interactions: Vec::new(),
+            social: Vec::new(),
+            item_rels: Vec::new(),
+        }
+    }
+
+    /// Records an interaction `y_{u,v} = 1` at logical time `time`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn interaction(&mut self, user: usize, item: usize, time: u32) -> &mut Self {
+        assert!(user < self.num_users, "interaction: user {user} out of range");
+        assert!(item < self.num_items, "interaction: item {item} out of range");
+        self.interactions.push(Interaction { user: user as u32, item: item as u32, time });
+        self
+    }
+
+    /// Records an undirected social tie `s_{a,b} = 1`. Self-loops are
+    /// rejected; duplicates are deduplicated at build time.
+    pub fn social_tie(&mut self, a: usize, b: usize) -> &mut Self {
+        assert!(a < self.num_users && b < self.num_users, "social_tie: user out of range");
+        assert_ne!(a, b, "social_tie: self-loops are not social ties");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.social.push((lo as u32, hi as u32));
+        self
+    }
+
+    /// Records an item–relation link `t_{v,r} = 1`.
+    pub fn item_relation(&mut self, item: usize, rel: usize) -> &mut Self {
+        assert!(item < self.num_items, "item_relation: item {item} out of range");
+        assert!(rel < self.num_relations, "item_relation: relation {rel} out of range");
+        self.item_rels.push((item as u32, rel as u32));
+        self
+    }
+
+    /// Finalizes: deduplicates edges and materializes all CSR views.
+    pub fn build(mut self) -> HeteroGraph {
+        self.social.sort_unstable();
+        self.social.dedup();
+        self.item_rels.sort_unstable();
+        self.item_rels.dedup();
+        // Interactions keep duplicates out of the adjacency but keep the
+        // event list intact (repeat purchases matter for timestamps).
+        let mut seen: Vec<(u32, u32)> =
+            self.interactions.iter().map(|i| (i.user, i.item)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+
+        let mut ui_b = CsrBuilder::new(self.num_users, self.num_items);
+        for &(u, v) in &seen {
+            ui_b.push(u as usize, v as usize, 1.0);
+        }
+        let ui = ui_b.build();
+        let iu = ui.transpose();
+
+        let mut ss_b = CsrBuilder::new(self.num_users, self.num_users);
+        for &(a, b) in &self.social {
+            ss_b.push(a as usize, b as usize, 1.0);
+            ss_b.push(b as usize, a as usize, 1.0);
+        }
+        let ss = ss_b.build();
+
+        let mut ir_b = CsrBuilder::new(self.num_items, self.num_relations.max(1));
+        for &(v, r) in &self.item_rels {
+            ir_b.push(v as usize, r as usize, 1.0);
+        }
+        let ir = ir_b.build();
+        let ri = ir.transpose();
+
+        HeteroGraph {
+            num_users: self.num_users,
+            num_items: self.num_items,
+            num_relations: self.num_relations,
+            interactions: self.interactions,
+            social: self.social,
+            item_rels: self.item_rels,
+            ui,
+            iu,
+            ss,
+            ir,
+            ri,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> HeteroGraph {
+        let mut b = HeteroGraphBuilder::new(3, 4, 2);
+        b.interaction(0, 0, 0)
+            .interaction(0, 1, 1)
+            .interaction(1, 1, 0)
+            .interaction(2, 3, 0)
+            .social_tie(0, 1)
+            .social_tie(1, 2)
+            .item_relation(0, 0)
+            .item_relation(1, 0)
+            .item_relation(3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_views() {
+        let g = toy();
+        assert_eq!(g.num_users(), 3);
+        assert_eq!(g.num_items(), 4);
+        assert_eq!(g.num_relations(), 2);
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.interactions().len(), 4);
+        assert_eq!(g.social_ties().len(), 2);
+        assert_eq!(g.num_social_ties_directed(), 4);
+    }
+
+    #[test]
+    fn adjacency_symmetry() {
+        let g = toy();
+        // Social matrix is symmetric.
+        assert_eq!(g.friends_of(0), &[1]);
+        assert_eq!(g.friends_of(1), &[0, 2]);
+        assert_eq!(g.friends_of(2), &[1]);
+        // ui and iu are transposes.
+        assert_eq!(g.items_of(0), &[0, 1]);
+        assert_eq!(g.users_of(1), &[0, 1]);
+        // ir and ri are transposes.
+        assert_eq!(g.ir().row_cols(1), &[0]);
+        assert_eq!(g.ri().row_cols(0), &[0, 1]);
+    }
+
+    #[test]
+    fn duplicate_edges_dedup_in_adjacency_not_events() {
+        let mut b = HeteroGraphBuilder::new(2, 2, 1);
+        b.interaction(0, 0, 0).interaction(0, 0, 5).social_tie(0, 1).social_tie(1, 0);
+        let g = b.build();
+        assert_eq!(g.interactions().len(), 2, "event list keeps repeats");
+        assert_eq!(g.ui().nnz(), 1, "adjacency dedups");
+        assert_eq!(g.social_ties().len(), 1, "undirected dedup");
+    }
+
+    #[test]
+    fn densities() {
+        let g = toy();
+        assert!((g.interaction_density() - 4.0 / 12.0).abs() < 1e-12);
+        assert!((g.social_density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn social_self_loop_rejected() {
+        HeteroGraphBuilder::new(2, 1, 1).social_tie(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_interaction_rejected() {
+        HeteroGraphBuilder::new(2, 2, 1).interaction(0, 5, 0);
+    }
+
+    #[test]
+    fn zero_relation_graph_is_fine() {
+        let mut b = HeteroGraphBuilder::new(2, 2, 0);
+        b.interaction(0, 0, 0);
+        let g = b.build();
+        assert_eq!(g.num_relations(), 0);
+        assert_eq!(g.ir().nnz(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! The unified (global-index) view of the heterogeneous graph.
+//!
+//! Users occupy global ids `0..I`, items `I..I+J`, relation nodes
+//! `I+J..I+J+R`. This is the indexing the DGNN propagation layers and the
+//! homogeneous baselines (NGCF/GCCF "enhanced with diverse context") and
+//! HGT operate on.
+
+use dgnn_tensor::{Csr, CsrBuilder};
+
+use crate::hetero::HeteroGraph;
+
+/// Directed edge families of the unified graph, used by type-dependent
+/// models (DGNN's per-relation memory banks, HGT's typed projections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeType {
+    /// user ← user (social influence).
+    SocialToUser,
+    /// user ← item (interaction, item side feeding the user).
+    ItemToUser,
+    /// item ← user (interaction, user side feeding the item).
+    UserToItem,
+    /// item ← relation node (knowledge feeding the item).
+    RelToItem,
+    /// relation node ← item (items feeding their relation node).
+    ItemToRel,
+}
+
+impl EdgeType {
+    /// All edge families, in a fixed order (indexable).
+    pub const ALL: [EdgeType; 5] = [
+        EdgeType::SocialToUser,
+        EdgeType::ItemToUser,
+        EdgeType::UserToItem,
+        EdgeType::RelToItem,
+        EdgeType::ItemToRel,
+    ];
+}
+
+/// Global-index helper over a [`HeteroGraph`].
+#[derive(Debug, Clone)]
+pub struct UnifiedView {
+    num_users: usize,
+    num_items: usize,
+    num_relations: usize,
+}
+
+impl UnifiedView {
+    /// Creates the view for a graph.
+    pub fn new(g: &HeteroGraph) -> Self {
+        Self {
+            num_users: g.num_users(),
+            num_items: g.num_items(),
+            num_relations: g.num_relations(),
+        }
+    }
+
+    /// Total number of global nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_users + self.num_items + self.num_relations
+    }
+
+    /// Global id of user `u`.
+    pub fn user(&self, u: usize) -> usize {
+        debug_assert!(u < self.num_users);
+        u
+    }
+
+    /// Global id of item `v`.
+    pub fn item(&self, v: usize) -> usize {
+        debug_assert!(v < self.num_items);
+        self.num_users + v
+    }
+
+    /// Global id of relation node `r`.
+    pub fn relation(&self, r: usize) -> usize {
+        debug_assert!(r < self.num_relations);
+        self.num_users + self.num_items + r
+    }
+
+    /// Inverse mapping: which family a global id belongs to and its local
+    /// index.
+    pub fn classify(&self, global: usize) -> (crate::NodeType, usize) {
+        if global < self.num_users {
+            (crate::NodeType::User, global)
+        } else if global < self.num_users + self.num_items {
+            (crate::NodeType::Item, global - self.num_users)
+        } else {
+            assert!(global < self.num_nodes(), "global id {global} out of range");
+            (crate::NodeType::Relation, global - self.num_users - self.num_items)
+        }
+    }
+}
+
+impl HeteroGraph {
+    /// Builds the symmetric unified adjacency over global indices, with
+    /// unit edge weights. `include_social` / `include_knowledge` gate the
+    /// `S` and `T` families — this implements the paper's `-S`, `-T`, and
+    /// `-ST` relation ablations (Section V-D) at the graph level.
+    pub fn unified_adj(&self, include_social: bool, include_knowledge: bool) -> Csr {
+        let view = UnifiedView::new(self);
+        let n = view.num_nodes();
+        let mut b = CsrBuilder::new(n, n);
+        for u in 0..self.num_users() {
+            for &v in self.items_of(u) {
+                b.push(view.user(u), view.item(v), 1.0);
+                b.push(view.item(v), view.user(u), 1.0);
+            }
+        }
+        if include_social {
+            for &(a, c) in self.social_ties() {
+                b.push(view.user(a as usize), view.user(c as usize), 1.0);
+                b.push(view.user(c as usize), view.user(a as usize), 1.0);
+            }
+        }
+        if include_knowledge {
+            for &(v, r) in self.item_relations() {
+                b.push(view.item(v as usize), view.relation(r as usize), 1.0);
+                b.push(view.relation(r as usize), view.item(v as usize), 1.0);
+            }
+        }
+        b.build()
+    }
+
+    /// Typed directed edge lists `(dst_local, src_local)` per family, in
+    /// the fixed [`EdgeType::ALL`] order. Each list is the raw material
+    /// for per-type attention (HGT) and per-type memory encoding (DGNN).
+    pub fn typed_edges(&self, ty: EdgeType) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        match ty {
+            EdgeType::SocialToUser => {
+                for u in 0..self.num_users() {
+                    for &f in self.friends_of(u) {
+                        edges.push((u, f));
+                    }
+                }
+            }
+            EdgeType::ItemToUser => {
+                for u in 0..self.num_users() {
+                    for &v in self.items_of(u) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            EdgeType::UserToItem => {
+                for v in 0..self.num_items() {
+                    for &u in self.users_of(v) {
+                        edges.push((v, u));
+                    }
+                }
+            }
+            EdgeType::RelToItem => {
+                for v in 0..self.num_items() {
+                    for &r in self.ir().row_cols(v) {
+                        edges.push((v, r));
+                    }
+                }
+            }
+            EdgeType::ItemToRel => {
+                for r in 0..self.num_relations() {
+                    for &v in self.ri().row_cols(r) {
+                        edges.push((r, v));
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeteroGraphBuilder;
+
+    fn toy() -> HeteroGraph {
+        let mut b = HeteroGraphBuilder::new(2, 3, 1);
+        b.interaction(0, 0, 0)
+            .interaction(1, 2, 0)
+            .social_tie(0, 1)
+            .item_relation(0, 0)
+            .item_relation(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn global_index_layout() {
+        let g = toy();
+        let v = UnifiedView::new(&g);
+        assert_eq!(v.num_nodes(), 6);
+        assert_eq!(v.user(1), 1);
+        assert_eq!(v.item(0), 2);
+        assert_eq!(v.relation(0), 5);
+        assert_eq!(v.classify(1), (crate::NodeType::User, 1));
+        assert_eq!(v.classify(4), (crate::NodeType::Item, 2));
+        assert_eq!(v.classify(5), (crate::NodeType::Relation, 0));
+    }
+
+    #[test]
+    fn unified_adj_is_symmetric() {
+        let g = toy();
+        let a = g.unified_adj(true, true);
+        let d = a.to_dense();
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert_eq!(d[(r, c)], d[(c, r)], "asymmetry at ({r},{c})");
+            }
+        }
+        // Y(2) + S(1) + T(2) edges, doubled.
+        assert_eq!(a.nnz(), 10);
+    }
+
+    #[test]
+    fn ablation_flags_drop_edge_families() {
+        let g = toy();
+        assert_eq!(g.unified_adj(false, true).nnz(), 8); // -S
+        assert_eq!(g.unified_adj(true, false).nnz(), 6); // -T
+        assert_eq!(g.unified_adj(false, false).nnz(), 4); // -ST
+    }
+
+    #[test]
+    fn typed_edges_group_by_destination() {
+        let g = toy();
+        let social = g.typed_edges(EdgeType::SocialToUser);
+        assert_eq!(social, vec![(0, 1), (1, 0)]);
+        let i2u = g.typed_edges(EdgeType::ItemToUser);
+        assert_eq!(i2u, vec![(0, 0), (1, 2)]);
+        let u2i = g.typed_edges(EdgeType::UserToItem);
+        assert_eq!(u2i, vec![(0, 0), (2, 1)]);
+        let r2i = g.typed_edges(EdgeType::RelToItem);
+        assert_eq!(r2i, vec![(0, 0), (2, 0)]);
+        let i2r = g.typed_edges(EdgeType::ItemToRel);
+        assert_eq!(i2r, vec![(0, 0), (0, 2)]);
+    }
+}

@@ -1,0 +1,699 @@
+//! Row-major dense `f32` matrix and its kernels.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense matrix of `f32`.
+///
+/// All shapes are checked with assertions; shape errors in a GNN are
+/// programming errors, not recoverable conditions, so panicking with a
+/// precise message is the right contract (it mirrors what `ndarray` and
+/// `nalgebra` do for mismatched dimensions).
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        let max_rows = 6.min(self.rows);
+        for r in 0..max_rows {
+            let row = self.row(r);
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:+.4}")).collect();
+            writeln!(f, "  [{}{}]", shown.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Creates a `1 × n` row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Creates an `n × 1` column vector from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "set_row: length mismatch");
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order so the inner loop streams
+    /// over contiguous rows of both `rhs` and the output.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} · {}x{} shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: {}x{}ᵀ · {}x{} shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let n = rhs.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ki * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: {}x{} · {}x{}ᵀ shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul_elem(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, "mul_elem", |a, b| a * b)
+    }
+
+    fn zip_with(&self, rhs: &Matrix, what: &str, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "{what}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += k * rhs` (AXPY).
+    pub fn axpy(&mut self, k: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Scaled copy `k * self`.
+    pub fn scale(&self, k: f32) -> Matrix {
+        self.map(|v| v * k)
+    }
+
+    /// In-place scaling `self *= k`.
+    pub fn scale_assign(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Entry-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Adds the `1 × cols` row vector `row` to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "add_row_broadcast: rhs must be a row vector");
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies every row elementwise by the `1 × cols` row vector `row`.
+    pub fn mul_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "mul_row_broadcast: rhs must be a row vector");
+        assert_eq!(row.cols, self.cols, "mul_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o *= b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies row `i` by the scalar `col[i]` (`col` is `rows × 1`).
+    pub fn mul_col_broadcast(&self, col: &Matrix) -> Matrix {
+        assert_eq!(col.cols, 1, "mul_col_broadcast: rhs must be a column vector");
+        assert_eq!(col.rows, self.rows, "mul_col_broadcast: height mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let k = col.data[r];
+            for o in out.row_mut(r) {
+                *o *= k;
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries; zero for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// `rows × 1` vector of per-row sums.
+    pub fn row_sums(&self) -> Matrix {
+        let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
+        Matrix { rows: self.rows, cols: 1, data }
+    }
+
+    /// `1 × cols` vector of per-column sums.
+    pub fn col_sums(&self) -> Matrix {
+        let mut data = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (acc, &v) in data.iter_mut().zip(self.row(r)) {
+                *acc += v;
+            }
+        }
+        Matrix { rows: 1, cols: self.cols, data }
+    }
+
+    /// `rows × 1` vector of per-row dot products with the matching row of
+    /// `rhs` (i.e. `sum(self ⊙ rhs, axis=1)`).
+    pub fn row_dots(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "row_dots: shape mismatch");
+        let data = (0..self.rows)
+            .map(|r| self.row(r).iter().zip(rhs.row(r)).map(|(&a, &b)| a * b).sum())
+            .collect();
+        Matrix { rows: self.rows, cols: 1, data }
+    }
+
+    /// Squared Frobenius norm `Σ v²`.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Concatenates matrices left-to-right (all must share a row count).
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols: need at least one part");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "concat_cols: row count mismatch"
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let out_row = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                out_row[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertically stacks matrices (all must share a column count).
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows: need at least one part");
+        let cols = parts[0].cols;
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "concat_rows: column count mismatch"
+        );
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copy of the column range `[start, end)`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols: bad range {start}..{end}");
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// New matrix whose rows are `self.row(idx[i])` (embedding lookup).
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < self.rows, "gather_rows: index {r} out of bounds ({} rows)", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Scatter-add: `self.row(idx[i]) += src.row(i)` for every `i`.
+    /// Duplicate indices accumulate.
+    pub fn scatter_add_rows(&mut self, idx: &[usize], src: &Matrix) {
+        assert_eq!(idx.len(), src.rows, "scatter_add_rows: index/src mismatch");
+        assert_eq!(self.cols, src.cols, "scatter_add_rows: width mismatch");
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < self.rows, "scatter_add_rows: index {r} out of bounds");
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &s) in dst.iter_mut().zip(src.row(i)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Row-wise L2 normalization; rows with norm below `eps` are left
+    /// unchanged (avoids dividing by ~0 for never-touched embeddings).
+    pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > eps {
+                for v in row {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// True when every entry is finite (no NaN/∞) — used as a training
+    /// sanity check.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Numerically-stable softmax over a mutable slice.
+pub(crate) fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in xs {
+            *v /= sum;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn m(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert_eq!(z.len(), 12);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(a[(1, 2)], 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(2, 2, &[1.5, -2.0, 0.25, 3.0]);
+        assert!(approx_eq(&a.matmul(&Matrix::eye(2)), &a, 0.0));
+        assert!(approx_eq(&Matrix::eye(2).matmul(&a), &a, 0.0));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[0.5, -1.0, 2.0, 0.0, 1.0, 1.0]);
+        assert!(approx_eq(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-6));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &[1.0; 12]);
+        assert!(approx_eq(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-6));
+    }
+
+    #[test]
+    fn transpose_twice_roundtrips() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(approx_eq(&a.transpose().transpose(), &a, 0.0));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul_elem(&b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        a.axpy(2.0, &m(1, 2, &[3.0, -1.0]));
+        assert_eq!(a.as_slice(), &[7.0, -1.0]);
+    }
+
+    #[test]
+    fn broadcasts() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let row = Matrix::row_vector(&[10.0, 20.0]);
+        assert_eq!(a.add_row_broadcast(&row).as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(a.mul_row_broadcast(&row).as_slice(), &[10.0, 40.0, 30.0, 80.0]);
+        let col = Matrix::col_vector(&[2.0, -1.0]);
+        assert_eq!(a.mul_col_broadcast(&col).as_slice(), &[2.0, 4.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum(), 21.0);
+        assert!((a.mean() - 3.5).abs() < 1e-6);
+        assert_eq!(a.row_sums().as_slice(), &[6.0, 15.0]);
+        assert_eq!(a.col_sums().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sq_norm(), 91.0);
+    }
+
+    #[test]
+    fn row_dots_matches_manual() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.row_dots(&b).as_slice(), &[17.0, 53.0]);
+    }
+
+    #[test]
+    fn concat_cols_and_slice_roundtrip() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 1, &[9.0, 8.0]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 2.0, 9.0]);
+        assert!(approx_eq(&c.slice_cols(0, 2), &a, 0.0));
+        assert!(approx_eq(&c.slice_cols(2, 3), &b, 0.0));
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let c = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_and_scatter_are_adjoint_on_duplicates() {
+        let table = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let idx = [2, 0, 2];
+        let g = table.gather_rows(&idx);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(2), &[5.0, 6.0]);
+        let mut acc = Matrix::zeros(3, 2);
+        acc.scatter_add_rows(&idx, &g);
+        // Row 2 was gathered twice, so it accumulates twice.
+        assert_eq!(acc.row(2), &[10.0, 12.0]);
+        assert_eq!(acc.row(0), &[1.0, 2.0]);
+        assert_eq!(acc.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let a = m(2, 2, &[3.0, 4.0, 0.0, 0.0]);
+        let n = a.l2_normalize_rows(1e-12);
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-6);
+        // Zero row untouched, not NaN.
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_shift_invariant() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[1001.0, 1002.0, 1003.0]);
+        let sa = a.softmax_rows();
+        let sb = b.softmax_rows();
+        assert!((sa.sum() - 1.0).abs() < 1e-5);
+        assert!(approx_eq(&sa, &sb, 1e-5));
+        assert!(sa.all_finite());
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let a = m(1, 3, &[-1.0, 0.0, 2.0]);
+        assert_eq!(a.map(f32::abs).as_slice(), &[1.0, 0.0, 2.0]);
+        assert_eq!(a.scale(-2.0).as_slice(), &[2.0, 0.0, -4.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense and sparse `f32` matrix kernels used throughout the DGNN
+//! reproduction.
+//!
+//! The crate is deliberately minimal: a row-major dense [`Matrix`], a CSR
+//! sparse matrix [`Csr`], and the handful of kernels a graph neural network
+//! needs (GEMM, sparse–dense products, row-wise reductions and normalizers).
+//! Everything is single-threaded and deterministic so experiments are
+//! bit-for-bit reproducible from a seed.
+
+#![warn(missing_docs)]
+
+mod dense;
+mod init;
+mod sparse;
+
+pub use dense::Matrix;
+pub use init::{xavier_uniform, Init};
+pub use sparse::{Csr, CsrBuilder};
+
+/// Numerical tolerance used by approximate-equality helpers in tests.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Returns `true` when `a` and `b` differ by at most `tol` in every entry
+/// (and agree in shape).
+pub fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol)
+}

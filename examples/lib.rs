@@ -1,0 +1,15 @@
+//! Shared helpers for the runnable examples. The examples themselves live
+//! next to this file (`quickstart.rs`, `social_cold_start.rs`,
+//! `knowledge_catalog.rs`) and are ordinary binaries:
+//!
+//! ```text
+//! cargo run --release -p dgnn-examples --bin quickstart
+//! ```
+
+use dgnn_eval::{evaluate_at, Recommender};
+
+/// Pretty-prints HR/NDCG at a cutoff.
+pub fn report(model: &dyn Recommender, test: &[dgnn_data::TestInstance], n: usize) {
+    let m = evaluate_at(model, test, n);
+    println!("{:<8} HR@{n} = {:.4}   NDCG@{n} = {:.4}", model.name(), m.hr, m.ndcg);
+}

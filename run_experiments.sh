@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper in sequence.
+# Output: stdout tables into results/logs/, raw CSV into results/.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results/logs
+BINS="table1 table2 table3 fig4 fig5 fig6 fig7 table4 fig8 fig9 fig10 ext_pretrain"
+for bin in $BINS; do
+    echo "=== running $bin ==="
+    /usr/bin/time -f "$bin wall: %es" \
+        cargo run --release -q -p dgnn-bench --bin "$bin" \
+        >"results/logs/$bin.txt" 2>"results/logs/$bin.err" \
+        || echo "$bin FAILED (see results/logs/$bin.err)"
+    tail -2 "results/logs/$bin.err" | head -1
+done
+echo "ALL_EXPERIMENTS_DONE"

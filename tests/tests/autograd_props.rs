@@ -1,0 +1,134 @@
+//! Property-based gradient checks: random shapes and random compositions,
+//! verified against central finite differences. Complements the fixed-case
+//! checks in `crates/autograd/tests/grad_check.rs`.
+
+use std::rc::Rc;
+
+use dgnn_autograd::{ParamSet, Tape, Var};
+use dgnn_tensor::Matrix;
+use proptest::prelude::*;
+
+const H: f32 = 1e-2;
+const TOL: f32 = 6e-2; // f32 + random compositions: generous but meaningful
+
+/// Finite-difference check of `d loss / d input` for a scalar builder.
+fn fd_check(input: &Matrix, build: &dyn Fn(&mut Tape, Var) -> Var) -> Result<(), String> {
+    let mut params = ParamSet::new();
+    let pid = params.add("x", input.clone());
+    let mut tape = Tape::new();
+    let x = tape.param(&params, pid);
+    let loss = build(&mut tape, x);
+    params.zero_grads();
+    tape.backward_into(loss, &mut params);
+    let analytic = params.grad(pid).clone();
+
+    let eval = |m: &Matrix| -> f32 {
+        let mut t = Tape::new();
+        let x = t.constant(m.clone());
+        let l = build(&mut t, x);
+        t.value(l)[(0, 0)]
+    };
+    for r in 0..input.rows() {
+        for c in 0..input.cols() {
+            let mut plus = input.clone();
+            plus[(r, c)] += H;
+            let mut minus = input.clone();
+            minus[(r, c)] -= H;
+            let fd = (eval(&plus) - eval(&minus)) / (2.0 * H);
+            let an = analytic[(r, c)];
+            let denom = fd.abs().max(an.abs()).max(1.0);
+            if (fd - an).abs() / denom > TOL {
+                return Err(format!("mismatch at ({r},{c}): analytic {an}, fd {fd}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |d| Matrix::from_vec(rows, cols, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_activation_chains_have_correct_grads(
+        x in matrix(3, 4),
+        ops in proptest::collection::vec(0u8..5, 1..4),
+    ) {
+        let ops = ops.clone();
+        let build = move |t: &mut Tape, mut v: Var| -> Var {
+            for &op in &ops {
+                v = match op {
+                    0 => t.sigmoid(v),
+                    1 => t.tanh(v),
+                    2 => t.leaky_relu(v, 0.2),
+                    3 => t.softplus(v),
+                    _ => t.scale(v, 0.7),
+                };
+            }
+            t.mean_all(v)
+        };
+        prop_assert!(fd_check(&x, &build).is_ok());
+    }
+
+    #[test]
+    fn random_linear_chains_have_correct_grads(
+        x in matrix(3, 3),
+        w1 in matrix(3, 3),
+        w2 in matrix(3, 3),
+    ) {
+        let build = move |t: &mut Tape, v: Var| -> Var {
+            let w1 = t.constant(w1.clone());
+            let w2 = t.constant(w2.clone());
+            let a = t.matmul(v, w1);
+            let a = t.leaky_relu(a, 0.2);
+            let b = t.matmul(a, w2);
+            let n = t.layer_norm_rows(b, 1e-5);
+            let sq = t.mul(n, n);
+            t.mean_all(sq)
+        };
+        prop_assert!(fd_check(&x, &build).is_ok());
+    }
+
+    #[test]
+    fn gather_concat_composition_has_correct_grads(
+        x in matrix(5, 3),
+        idx in proptest::collection::vec(0usize..5, 2..7),
+    ) {
+        let idx = Rc::new(idx);
+        let build = move |t: &mut Tape, v: Var| -> Var {
+            let g = t.gather(v, Rc::clone(&idx));
+            let g2 = t.gather(v, Rc::clone(&idx));
+            let cat = t.concat_cols(&[g, g2]);
+            let s = t.softmax_rows(cat);
+            let sq = t.mul(s, s);
+            t.sum_all(sq)
+        };
+        prop_assert!(fd_check(&x, &build).is_ok());
+    }
+
+    #[test]
+    fn gradients_are_linear_in_upstream_scale(x in matrix(3, 3), k in 0.5f32..3.0) {
+        // d(k·f)/dx = k · df/dx — checks the accumulation plumbing.
+        let grad_of = |scale: f32, input: &Matrix| -> Matrix {
+            let mut params = ParamSet::new();
+            let pid = params.add("x", input.clone());
+            let mut t = Tape::new();
+            let v = t.param(&params, pid);
+            let s = t.sigmoid(v);
+            let sum = t.sum_all(s);
+            let loss = t.scale(sum, scale);
+            params.zero_grads();
+            t.backward_into(loss, &mut params);
+            params.grad(pid).clone()
+        };
+        let g1 = grad_of(1.0, &x);
+        let gk = grad_of(k, &x);
+        for (a, b) in g1.as_slice().iter().zip(gk.as_slice()) {
+            prop_assert!((a * k - b).abs() < 1e-4);
+        }
+    }
+}

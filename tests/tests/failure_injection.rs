@@ -1,0 +1,80 @@
+//! Failure-injection tests: every model must survive degenerate graphs —
+//! isolated users, audience-less items, missing relation families — and the
+//! data layer must reject genuinely impossible configurations loudly.
+
+use dgnn_baselines::all_models;
+use dgnn_core::Dgnn;
+use dgnn_data::{Dataset, TrainSampler};
+use dgnn_eval::{evaluate_at, Trainable};
+use dgnn_graph::HeteroGraphBuilder;
+use dgnn_integration_tests::{quick_baseline, quick_dgnn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A hostile little world: isolated users (no edges at all), items nobody
+/// touched, a user with no friends, no relation nodes.
+fn degenerate_dataset() -> Dataset {
+    let mut b = HeteroGraphBuilder::new(8, 130, 0);
+    // Only users 0..4 interact; 4..8 are fully isolated.
+    for u in 0..4 {
+        for k in 0..4 {
+            b.interaction(u, u * 4 + k, k as u32);
+        }
+    }
+    // One social edge among the active, one among the isolated.
+    b.social_tie(0, 1).social_tie(6, 7);
+    let full = b.build();
+    let mut rng = StdRng::seed_from_u64(0);
+    Dataset::leave_one_out("degenerate", &full, 2, 30, &mut rng)
+}
+
+#[test]
+fn dgnn_survives_degenerate_graph() {
+    let data = degenerate_dataset();
+    let mut model = Dgnn::new(quick_dgnn());
+    model.fit(&data, 3);
+    assert!(model.loss_history.iter().all(|l| l.is_finite()));
+    // Scoring an isolated user must still work (cold embedding, no NaN).
+    let scores = model.score(6, &[0, 1, 2]);
+    assert!(scores.iter().all(|s| s.is_finite()));
+    let m = evaluate_at(&model, &data.test, 10);
+    assert!(m.hr.is_finite());
+}
+
+#[test]
+fn every_baseline_survives_degenerate_graph() {
+    let data = degenerate_dataset();
+    for mut model in all_models(&quick_baseline()) {
+        model.fit(&data, 3);
+        let scores = model.score(7, &[0, 5, 9]);
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "{} produced non-finite scores on the degenerate graph",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn sampler_rejects_saturated_user() {
+    // A user who interacted with the whole catalog makes BPR undefined:
+    // this must fail fast, not hang.
+    let mut b = HeteroGraphBuilder::new(1, 3, 0);
+    for v in 0..3 {
+        b.interaction(0, v, v as u32);
+    }
+    let g = b.build();
+    let r = std::panic::catch_unwind(|| TrainSampler::new(&g));
+    assert!(r.is_err(), "saturated user must be rejected");
+}
+
+#[test]
+fn zero_epoch_training_leaves_usable_model() {
+    let data = degenerate_dataset();
+    let mut model = Dgnn::new(dgnn_core::DgnnConfig { epochs: 0, ..quick_dgnn() });
+    model.fit(&data, 3);
+    // No training happened, but finalize ran: scoring must work.
+    let scores = model.score(0, &[0, 1]);
+    assert!(scores.iter().all(|s| s.is_finite()));
+    assert!(model.loss_history.is_empty());
+}

@@ -1,0 +1,52 @@
+//! Every model in the Table II roster trains and evaluates sanely on the
+//! tiny dataset — the smoke version of the full experiment grid.
+
+use dgnn_baselines::all_models;
+use dgnn_core::Dgnn;
+use dgnn_data::tiny;
+use dgnn_eval::{evaluate_at, Trainable};
+use dgnn_integration_tests::{quick_baseline, quick_dgnn};
+
+#[test]
+fn all_fifteen_models_produce_finite_metrics() {
+    let data = tiny(42);
+    let mut models = all_models(&quick_baseline());
+    for model in &mut models {
+        model.fit(&data, 7);
+        let m = evaluate_at(model.as_ref(), &data.test, 10);
+        assert!(m.hr.is_finite() && m.ndcg.is_finite(), "{} produced NaN", model.name());
+        assert!((0.0..=1.0).contains(&m.hr), "{} HR out of range", model.name());
+        assert!(m.ndcg <= m.hr + 1e-12, "{} NDCG exceeds HR bound", model.name());
+    }
+    let mut dgnn = Dgnn::new(quick_dgnn());
+    dgnn.fit(&data, 7);
+    let m = evaluate_at(&dgnn, &data.test, 10);
+    assert!(m.hr.is_finite());
+}
+
+#[test]
+fn model_names_are_unique() {
+    let models = all_models(&quick_baseline());
+    let mut names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+    names.push("DGNN");
+    let mut deduped = names.clone();
+    deduped.sort_unstable();
+    deduped.dedup();
+    assert_eq!(deduped.len(), names.len(), "duplicate model names: {names:?}");
+}
+
+#[test]
+fn refitting_resets_state() {
+    // Fitting the same model twice on different data must not leak state:
+    // metrics are those of the second fit.
+    let data_a = tiny(42);
+    let data_b = tiny(43);
+    let mut once = Dgnn::new(quick_dgnn());
+    once.fit(&data_b, 7);
+    let mut twice = Dgnn::new(quick_dgnn());
+    twice.fit(&data_a, 7);
+    twice.fit(&data_b, 7);
+    let m_once = evaluate_at(&once, &data_b.test, 10);
+    let m_twice = evaluate_at(&twice, &data_b.test, 10);
+    assert_eq!(m_once.hr, m_twice.hr, "second fit must fully reset the model");
+}

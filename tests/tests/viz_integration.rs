@@ -1,0 +1,46 @@
+//! Integration of trained models with the visualization stack
+//! (the Figure 9/10 pipeline in miniature).
+
+use dgnn_core::{Dgnn, MemoryBankKind};
+use dgnn_data::tiny;
+use dgnn_eval::Trainable;
+use dgnn_integration_tests::quick_dgnn;
+use dgnn_viz::{attention_similarity_gap, pca_2d, tsne_2d, TsneConfig};
+
+#[test]
+fn trained_embeddings_project_to_finite_coordinates() {
+    let data = tiny(42);
+    let mut model = Dgnn::new(quick_dgnn());
+    model.fit(&data, 7);
+
+    let items: Vec<usize> = (0..40).collect();
+    let sub = model.item_embeddings().gather_rows(&items);
+    let coords = tsne_2d(&sub, &TsneConfig { iterations: 80, ..TsneConfig::default() });
+    assert_eq!(coords.shape(), (40, 2));
+    assert!(coords.all_finite());
+
+    let p = pca_2d(model.user_embeddings());
+    assert_eq!(p.shape(), (data.graph.num_users(), 2));
+    assert!(p.all_finite());
+}
+
+#[test]
+fn attention_gap_pipeline_runs_on_trained_model() {
+    let data = tiny(42);
+    let g = &data.graph;
+    let mut model = Dgnn::new(quick_dgnn());
+    model.fit(&data, 7);
+
+    let social_pairs: Vec<(usize, usize)> =
+        g.social_ties().iter().map(|&(a, b)| (a as usize, b as usize)).collect();
+    assert!(!social_pairs.is_empty(), "tiny world should have social ties");
+    let random_pairs: Vec<(usize, usize)> = (0..g.num_users() - 1)
+        .map(|u| (u, (u + g.num_users() / 2) % g.num_users()))
+        .filter(|&(a, b)| a != b)
+        .collect();
+
+    let attn = model.memory_attention(MemoryBankKind::SocialToUser);
+    let gap = attention_similarity_gap(attn, &social_pairs, &random_pairs);
+    assert!(gap.is_finite());
+    assert!(gap.abs() <= 2.0, "cosine gap must be bounded");
+}
