@@ -1,0 +1,155 @@
+//! Reachability auditor over a traced compute graph.
+//!
+//! [`ShapeTracer`] finds *local* problems (shapes, indices, stability) while
+//! the graph is being built; [`audit`] adds the *global* checks that need
+//! the finished graph: parameters that never influence the loss, and
+//! recorded compute that `backward` can never see.
+
+use std::collections::HashSet;
+
+use dgnn_autograd::{ParamSet, Var};
+
+use crate::tracer::{Diagnostic, DiagnosticKind, ShapeTracer};
+
+/// All findings for one traced graph: trace-time diagnostics from the
+/// [`ShapeTracer`] plus the reachability findings computed here.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    diags: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// Every finding, trace-time and reachability, in discovery order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// True when the graph passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of findings of one kind.
+    pub fn count(&self, kind: DiagnosticKind) -> usize {
+        self.diags.iter().filter(|d| d.kind == kind).count()
+    }
+
+    /// True if at least one finding of `kind` is present.
+    pub fn has(&self, kind: DiagnosticKind) -> bool {
+        self.diags.iter().any(|d| d.kind == kind)
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.diags.is_empty() {
+            return writeln!(f, "audit: clean");
+        }
+        writeln!(f, "audit: {} finding(s)", self.diags.len())?;
+        for d in &self.diags {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Nodes reachable *backwards* from `roots` over input edges.
+fn ancestors(tracer: &ShapeTracer, roots: impl IntoIterator<Item = usize>) -> Vec<bool> {
+    let nodes = tracer.nodes();
+    let mut live = vec![false; nodes.len()];
+    let mut stack: Vec<usize> = roots.into_iter().filter(|&r| r < nodes.len()).collect();
+    while let Some(n) = stack.pop() {
+        if live[n] {
+            continue;
+        }
+        live[n] = true;
+        stack.extend(nodes[n].inputs.iter().copied());
+    }
+    live
+}
+
+/// Audits a finished trace.
+///
+/// * `loss` — the scalar the trainer differentiates.
+/// * `outputs` — additional legitimate roots (e.g. embeddings cached for
+///   inference, attention weights dumped for visualization). Nodes feeding
+///   only these are *not* dead, but parameters must still reach `loss`.
+/// * `params` — the parameter set registered while building the graph.
+///
+/// The returned report also carries the tracer's own trace-time
+/// diagnostics, so one `is_clean()` check covers everything.
+pub fn audit(
+    tracer: &ShapeTracer,
+    loss: Var,
+    outputs: &[Var],
+    params: &ParamSet,
+) -> AuditReport {
+    let mut report = AuditReport { diags: tracer.diagnostics().to_vec() };
+    let nodes = tracer.nodes();
+
+    let grad_live = ancestors(tracer, [loss.index()]);
+    let all_roots =
+        std::iter::once(loss.index()).chain(outputs.iter().map(|v| v.index()));
+    let live = ancestors(tracer, all_roots);
+
+    // --- parameters ------------------------------------------------------
+    // A parameter is *used* iff some traced leaf for it is an ancestor of
+    // the loss: only then does backward produce a gradient for it.
+    let mut traced = HashSet::new();
+    let mut used = HashSet::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if let Some(id) = node.param {
+            traced.insert(id);
+            if grad_live[i] {
+                used.insert(id);
+            }
+        }
+    }
+    for id in params.ids() {
+        if used.contains(&id) {
+            continue;
+        }
+        let name = params.name(id);
+        let message = if traced.contains(&id) {
+            format!("param `{name}` is traced but has no path to the loss: it never receives a gradient")
+        } else {
+            format!("param `{name}` is registered but never appears in the compute graph")
+        };
+        report.diags.push(Diagnostic {
+            kind: DiagnosticKind::UnusedParam,
+            node: None,
+            op: None,
+            message,
+        });
+    }
+
+    // --- dead compute ----------------------------------------------------
+    // Report each dead *sink* (a node nobody consumes) together with the
+    // size of the dead cone above it; interior dead nodes would be noise.
+    // Dead param leaves are already covered by UnusedParam.
+    let mut consumed = vec![false; nodes.len()];
+    for node in nodes {
+        for &i in &node.inputs {
+            consumed[i] = true;
+        }
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        if live[i] || consumed[i] || node.param.is_some() {
+            continue;
+        }
+        let cone = ancestors(tracer, [i]);
+        let dead_cone = cone.iter().zip(&live).filter(|(c, l)| **c && !**l).count();
+        report.diags.push(Diagnostic {
+            kind: DiagnosticKind::DeadSubgraph,
+            node: Some(i),
+            op: Some(node.op),
+            message: format!(
+                "dead subgraph of {dead_cone} node(s) ending at `{}` {:?}: \
+                 reachable from neither the loss nor any declared output",
+                node.op, node.shape
+            ),
+        });
+    }
+
+    report
+}

@@ -1,0 +1,356 @@
+//! Std-only source-level lint harness for the DGNN workspace.
+//!
+//! Walks every `crates/*/src/**/*.rs` file and enforces:
+//!
+//! 1. no bare `.unwrap()` in library code outside `#[cfg(test)]` blocks;
+//! 2. `.expect(...)` needs a justifying message (≥ 10 chars) or a nearby
+//!    `// INVARIANT:` / `// PANICS:` comment;
+//! 3. `panic!` needs a nearby `// PANICS:` comment;
+//! 4. `unsafe` needs a nearby `// SAFETY:` comment;
+//! 5. a workspace-wide TODO/FIXME budget.
+//!
+//! Run with `cargo run -p dgnn-analysis --bin lint [workspace-root]`.
+//! Exits non-zero when any rule fires, so `ci.sh` can gate on it.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Maximum tolerated TODO/FIXME markers across all scanned sources.
+const TODO_BUDGET: usize = 8;
+
+/// How many preceding lines may carry a `// SAFETY:` / `// PANICS:` /
+/// `// INVARIANT:` marker for it to justify a flagged construct.
+const MARKER_WINDOW: usize = 4;
+
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    detail: String,
+}
+
+/// The needles are assembled at runtime so this file does not flag itself
+/// when the harness scans its own crate.
+struct Needles {
+    unwrap: String,
+    expect: String,
+    panic: String,
+    todo: String,
+    fixme: String,
+}
+
+impl Needles {
+    fn new() -> Self {
+        Self {
+            unwrap: format!(".unwr{}()", "ap"),
+            expect: format!(".exp{}(", "ect"),
+            panic: format!("pan{}!", "ic"),
+            todo: format!("TO{}", "DO"),
+            fixme: format!("FIX{}", "ME"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let crates_dir = Path::new(&root).join("crates");
+    let mut files = Vec::new();
+    collect_rs_files(&crates_dir, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!("lint: no Rust sources found under {}", crates_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let needles = Needles::new();
+    let mut violations = Vec::new();
+    let mut todo_count = 0usize;
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => lint_file(file, &text, &needles, &mut violations, &mut todo_count),
+            Err(e) => violations.push(Violation {
+                file: file.clone(),
+                line: 0,
+                rule: "io",
+                detail: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    if todo_count > TODO_BUDGET {
+        violations.push(Violation {
+            file: crates_dir.clone(),
+            line: 0,
+            rule: "todo-budget",
+            detail: format!(
+                "{todo_count} TODO/FIXME markers exceed the budget of {TODO_BUDGET}"
+            ),
+        });
+    }
+
+    if violations.is_empty() {
+        println!(
+            "lint: {} files clean ({} TODO/FIXME within budget {})",
+            files.len(),
+            todo_count,
+            TODO_BUDGET
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut out = String::new();
+    for v in &violations {
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}] {}",
+            v.file.display(),
+            v.line,
+            v.rule,
+            v.detail
+        );
+    }
+    eprint!("{out}");
+    eprintln!("lint: {} violation(s) in {} files", violations.len(), files.len());
+    ExitCode::FAILURE
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Only library/binary sources: crates/<name>/src/**; skip each
+            // crate's tests/ and benches/ trees where panics are idiomatic.
+            let name = entry.file_name();
+            if dir.ends_with("crates") || name == "src" || under_src(&path) {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") && under_src(&path) {
+            out.push(path);
+        }
+    }
+}
+
+fn under_src(path: &Path) -> bool {
+    path.components().any(|c| c.as_os_str() == "src")
+}
+
+/// Strips `//` line comments and the contents of ordinary string literals,
+/// so needles inside docs or message strings do not fire. This is a lexer
+/// approximation (no raw-string support), which is exactly as much as the
+/// workspace's own sources need.
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    let _ = chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                let _ = chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Heuristic: treat as char literal only when it closes soon;
+                // otherwise it is a lifetime tick.
+                let rest: String = chars.clone().take(3).collect();
+                if rest.starts_with('\\') || rest.chars().nth(1) == Some('\'') {
+                    in_char = true;
+                } else {
+                    out.push('\'');
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Does any of the `window` lines before `idx` (or the line itself) carry
+/// the marker comment?
+fn has_marker(lines: &[&str], idx: usize, marker: &str) -> bool {
+    let start = idx.saturating_sub(MARKER_WINDOW);
+    lines[start..=idx].iter().any(|l| l.contains(marker))
+}
+
+/// `.expect("...")` with a message of at least 10 characters counts as
+/// self-justifying. `start` points at the needle's opening parenthesis.
+fn expect_message_len(code: &str, paren: usize) -> usize {
+    let rest = &code[paren..];
+    let open = match rest.find('"') {
+        Some(i) => i,
+        None => return 0,
+    };
+    let body = &rest[open + 1..];
+    match body.find('"') {
+        Some(close) => close,
+        None => body.len(), // message continues past the stripped region
+    }
+}
+
+fn lint_file(
+    file: &Path,
+    text: &str,
+    needles: &Needles,
+    violations: &mut Vec<Violation>,
+    todo_count: &mut usize,
+) {
+    let lines: Vec<&str> = text.lines().collect();
+    // Track `#[cfg(test)]`-gated regions by brace depth: everything between
+    // the attribute's following `{` and its matching `}` is test code where
+    // unwrap/expect/panic are idiomatic.
+    let mut test_depth: i64 = -1; // -1: not inside a test region
+    let mut pending_test_attr = false;
+    let mut depth: i64 = 0;
+
+    for (i, raw) in lines.iter().enumerate() {
+        let code = strip_comments_and_strings(raw);
+        let lineno = i + 1;
+
+        if raw.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if pending_test_attr && opens > 0 {
+            test_depth = depth + 1;
+            pending_test_attr = false;
+        }
+        depth += opens - closes;
+        let in_test = test_depth >= 0 && depth >= test_depth;
+        if test_depth >= 0 && depth < test_depth {
+            test_depth = -1;
+        }
+
+        if raw.contains(&needles.todo) || raw.contains(&needles.fixme) {
+            *todo_count += 1;
+        }
+        if in_test {
+            continue;
+        }
+
+        if code.contains(needles.unwrap.as_str()) {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "no-unwrap",
+                detail: "bare unwrap in library code; use expect with a message, \
+                         propagate the error, or handle the None/Err arm"
+                    .to_string(),
+            });
+        }
+        if let Some(pos) = code.find(needles.expect.as_str()) {
+            let msg_len = expect_message_len(raw, pos + needles.expect.len() - 1);
+            let justified = msg_len >= 10
+                || has_marker(&lines, i, "INVARIANT:")
+                || has_marker(&lines, i, "PANICS:");
+            if !justified {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "expect-message",
+                    detail: "expect without a justifying message (>= 10 chars) or a \
+                             nearby INVARIANT:/PANICS: comment"
+                        .to_string(),
+                });
+            }
+        }
+        if code.contains(needles.panic.as_str()) && !has_marker(&lines, i, "PANICS:") {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "panic-doc",
+                detail: "panic! without a nearby // PANICS: comment explaining why \
+                         the condition is unreachable or fatal"
+                    .to_string(),
+            });
+        }
+        if contains_unsafe_keyword(&code) && !has_marker(&lines, i, "SAFETY:") {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "undocumented-unsafe",
+                detail: "unsafe without a nearby // SAFETY: comment".to_string(),
+            });
+        }
+    }
+}
+
+/// Word-boundary match for the `unsafe` keyword.
+fn contains_unsafe_keyword(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + "unsafe".len()..];
+        let after_ok =
+            !after.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        assert_eq!(strip_comments_and_strings("let x = 1; // .unwrap()"), "let x = 1; ");
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        assert_eq!(
+            strip_comments_and_strings(r#"let s = "call .unwrap() here";"#),
+            r#"let s = "";"#
+        );
+    }
+
+    #[test]
+    fn unsafe_word_boundary() {
+        assert!(contains_unsafe_keyword("unsafe { }"));
+        assert!(!contains_unsafe_keyword("let not_unsafe_name = 1;"));
+        assert!(!contains_unsafe_keyword("unsafety"));
+    }
+
+    #[test]
+    fn expect_message_length() {
+        let line = r#"foo.expect("short");"#;
+        let pos = line.find("(").unwrap();
+        assert_eq!(expect_message_len(line, pos), 5);
+        let line2 = r#"foo.expect("a much longer justification");"#;
+        let pos2 = line2.find("(").unwrap();
+        assert!(expect_message_len(line2, pos2) >= 10);
+    }
+}

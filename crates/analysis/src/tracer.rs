@@ -1,0 +1,491 @@
+//! [`ShapeTracer`]: abstract interpretation of compute graphs over the
+//! shape domain.
+//!
+//! The tracer implements [`Recorder`], so any model written against
+//! `R: Recorder` — DGNN itself and the traced baselines — can be "run"
+//! without allocating a single output tensor: each op records only its
+//! output shape, a boundedness bit, its input edges, and a static op name.
+//! Structural problems (shape mismatches, out-of-range gather indices,
+//! non-covering segment pointers, `exp` of unbounded inputs) surface as
+//! [`Diagnostic`]s at trace time, *before* any training step executes.
+
+use std::rc::Rc;
+
+use dgnn_autograd::{ParamId, ParamSet, Recorder, Var};
+use dgnn_tensor::{Csr, Matrix};
+
+/// The class of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// Operand shapes are incompatible with the op's contract.
+    ShapeMismatch,
+    /// A gather index or segment pointer addresses rows that do not exist.
+    IndexRange,
+    /// A parameter registered in the [`ParamSet`] never contributes to the
+    /// loss (either never traced, or traced with no path to the loss).
+    UnusedParam,
+    /// A recorded node that is reachable from neither the loss nor any
+    /// declared output — compute that `backward` can never see.
+    DeadSubgraph,
+    /// `exp` applied to an input with no bounding op between it and a
+    /// parameter/leaf: overflows to `inf` once logits drift.
+    UnstableExp,
+}
+
+/// One structured finding about a traced compute graph.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub kind: DiagnosticKind,
+    /// Index of the node where the problem was detected (op provenance);
+    /// `None` for set-level findings such as never-traced parameters.
+    pub node: Option<usize>,
+    /// Static name of that node's op, when a node is implicated.
+    pub op: Option<&'static str>,
+    /// Human-readable description with the concrete shapes/indices.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.node, self.op) {
+            (Some(n), Some(op)) => write!(f, "[{:?}] node {n} ({op}): {}", self.kind, self.message),
+            _ => write!(f, "[{:?}] {}", self.kind, self.message),
+        }
+    }
+}
+
+/// One abstract node: shape + provenance, no tensor data.
+#[derive(Debug)]
+pub(crate) struct TraceNode {
+    pub op: &'static str,
+    pub shape: (usize, usize),
+    pub inputs: Vec<usize>,
+    pub param: Option<ParamId>,
+    /// True when the op's output lies in a fixed interval regardless of
+    /// how far parameters drift during training (σ, tanh, softmax, norms,
+    /// and compositions of bounded inputs). Leaves: constants are bounded
+    /// (they never change), parameters are not.
+    pub bounded: bool,
+}
+
+/// Abstract interpreter over the shape domain; the second [`Recorder`]
+/// implementation next to `Tape`.
+///
+/// Feed it the exact graph-building code the trainer uses (e.g.
+/// `Dgnn::record_step`), then inspect [`ShapeTracer::diagnostics`] or run
+/// the reachability auditor in [`crate::audit`].
+#[derive(Debug, Default)]
+pub struct ShapeTracer {
+    nodes: Vec<TraceNode>,
+    diags: Vec<Diagnostic>,
+}
+
+impl ShapeTracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of traced nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Diagnostics collected while tracing (shape, index-range, and
+    /// stability findings). Reachability findings require the auditor.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Static op name of a traced node.
+    pub fn op_name(&self, v: Var) -> &'static str {
+        self.nodes[v.index()].op
+    }
+
+    pub(crate) fn nodes(&self) -> &[TraceNode] {
+        &self.nodes
+    }
+
+    fn push(
+        &mut self,
+        op: &'static str,
+        shape: (usize, usize),
+        inputs: &[Var],
+        bounded: bool,
+        param: Option<ParamId>,
+    ) -> Var {
+        self.nodes.push(TraceNode {
+            op,
+            shape,
+            inputs: inputs.iter().map(|v| v.index()).collect(),
+            param,
+            bounded,
+        });
+        Var::from_index(self.nodes.len() - 1)
+    }
+
+    fn diag(&mut self, kind: DiagnosticKind, op: &'static str, message: String) {
+        // The offending node is the one about to be pushed.
+        self.diags.push(Diagnostic { kind, node: Some(self.nodes.len()), op: Some(op), message });
+    }
+
+    fn shape_of(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.index()].shape
+    }
+
+    fn bounded_of(&self, v: Var) -> bool {
+        self.nodes[v.index()].bounded
+    }
+
+    /// Checks an elementwise binary op's operands for equal shapes.
+    fn require_same(&mut self, op: &'static str, a: Var, b: Var) {
+        let (sa, sb) = (self.shape_of(a), self.shape_of(b));
+        if sa != sb {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                op,
+                format!("operand shapes {sa:?} and {sb:?} differ"),
+            );
+        }
+    }
+
+    /// Unary shape-preserving op helper.
+    fn unary(&mut self, op: &'static str, a: Var, bounded: bool) -> Var {
+        let shape = self.shape_of(a);
+        self.push(op, shape, &[a], bounded, None)
+    }
+
+    /// Binary elementwise op helper (requires equal shapes).
+    fn binary(&mut self, op: &'static str, a: Var, b: Var) -> Var {
+        self.require_same(op, a, b);
+        let shape = self.shape_of(a);
+        let bounded = self.bounded_of(a) && self.bounded_of(b);
+        self.push(op, shape, &[a, b], bounded, None)
+    }
+
+    /// Validates a CSR-style segment pointer against an edge count.
+    fn check_segments(&mut self, op: &'static str, seg: &[usize], edges: usize) {
+        match seg.last() {
+            None => {
+                self.diag(DiagnosticKind::IndexRange, op, "empty segment pointer".to_string());
+            }
+            Some(&end) if end != edges => {
+                self.diag(
+                    DiagnosticKind::IndexRange,
+                    op,
+                    format!("segment pointer covers {end} edges but input has {edges}"),
+                );
+            }
+            _ => {}
+        }
+        if seg.windows(2).any(|w| w[0] > w[1]) {
+            self.diag(
+                DiagnosticKind::IndexRange,
+                op,
+                "segment pointer is not monotonically non-decreasing".to_string(),
+            );
+        }
+    }
+}
+
+impl Recorder for ShapeTracer {
+    fn constant(&mut self, value: Matrix) -> Var {
+        // Constants never change during training, so they are bounded.
+        self.push("constant", value.shape(), &[], true, None)
+    }
+
+    fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        // Parameters drift arbitrarily far under optimization: unbounded.
+        self.push("param", params.value(id).shape(), &[], false, Some(id))
+    }
+
+    fn shape(&self, v: Var) -> (usize, usize) {
+        self.shape_of(v)
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        self.binary("add", a, b)
+    }
+
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.binary("sub", a, b)
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.binary("mul", a, b)
+    }
+
+    fn neg(&mut self, a: Var) -> Var {
+        let bounded = self.bounded_of(a);
+        self.unary("neg", a, bounded)
+    }
+
+    fn scale(&mut self, a: Var, _k: f32) -> Var {
+        let bounded = self.bounded_of(a);
+        self.unary("scale", a, bounded)
+    }
+
+    fn add_scalar(&mut self, a: Var, _k: f32) -> Var {
+        let bounded = self.bounded_of(a);
+        self.unary("add_scalar", a, bounded)
+    }
+
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (sa, sb) = (self.shape_of(a), self.shape_of(b));
+        if sa.1 != sb.0 {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "matmul",
+                format!("inner dimensions disagree: {sa:?} · {sb:?}"),
+            );
+        }
+        let bounded = self.bounded_of(a) && self.bounded_of(b);
+        self.push("matmul", (sa.0, sb.1), &[a, b], bounded, None)
+    }
+
+    fn transpose(&mut self, a: Var) -> Var {
+        let (r, c) = self.shape_of(a);
+        let bounded = self.bounded_of(a);
+        self.push("transpose", (c, r), &[a], bounded, None)
+    }
+
+    fn spmm_with(&mut self, adj: &Rc<Csr>, adj_t: &Rc<Csr>, b: Var) -> Var {
+        let sb = self.shape_of(b);
+        if adj.rows() != adj_t.cols() || adj.cols() != adj_t.rows() {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "spmm",
+                format!(
+                    "adj_t {}×{} is not the transpose of adj {}×{}",
+                    adj_t.rows(),
+                    adj_t.cols(),
+                    adj.rows(),
+                    adj.cols()
+                ),
+            );
+        }
+        if adj.cols() != sb.0 {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "spmm",
+                format!("adj is {}×{} but dense operand is {sb:?}", adj.rows(), adj.cols()),
+            );
+        }
+        // The adjacency is a fixed constant, so boundedness follows b.
+        let bounded = self.bounded_of(b);
+        self.push("spmm", (adj.rows(), sb.1), &[b], bounded, None)
+    }
+
+    fn sigmoid(&mut self, a: Var) -> Var {
+        self.unary("sigmoid", a, true)
+    }
+
+    fn tanh(&mut self, a: Var) -> Var {
+        self.unary("tanh", a, true)
+    }
+
+    fn leaky_relu(&mut self, a: Var, _alpha: f32) -> Var {
+        let bounded = self.bounded_of(a);
+        self.unary("leaky_relu", a, bounded)
+    }
+
+    fn relu(&mut self, a: Var) -> Var {
+        let bounded = self.bounded_of(a);
+        self.unary("relu", a, bounded)
+    }
+
+    fn exp(&mut self, a: Var) -> Var {
+        let bounded = self.bounded_of(a);
+        if !bounded {
+            self.diag(
+                DiagnosticKind::UnstableExp,
+                "exp",
+                "exp of an unbounded input: overflows to inf once logits drift; \
+                 bound the input (sigmoid/tanh/softmax/normalize) or use softplus"
+                    .to_string(),
+            );
+        }
+        self.unary("exp", a, bounded)
+    }
+
+    fn softplus(&mut self, a: Var) -> Var {
+        // Tape's softplus forward is the numerically stable
+        // `max(x, 0) + ln(1 + e^{-|x|})`, so no stability diagnostic here.
+        let bounded = self.bounded_of(a);
+        self.unary("softplus", a, bounded)
+    }
+
+    fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (sa, sr) = (self.shape_of(a), self.shape_of(row));
+        if sr != (1, sa.1) {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "add_row",
+                format!("row vector is {sr:?}, want (1, {}) to broadcast over {sa:?}", sa.1),
+            );
+        }
+        let bounded = self.bounded_of(a) && self.bounded_of(row);
+        self.push("add_row", sa, &[a, row], bounded, None)
+    }
+
+    fn mul_row(&mut self, a: Var, row: Var) -> Var {
+        let (sa, sr) = (self.shape_of(a), self.shape_of(row));
+        if sr != (1, sa.1) {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "mul_row",
+                format!("row vector is {sr:?}, want (1, {}) to broadcast over {sa:?}", sa.1),
+            );
+        }
+        let bounded = self.bounded_of(a) && self.bounded_of(row);
+        self.push("mul_row", sa, &[a, row], bounded, None)
+    }
+
+    fn mul_col(&mut self, a: Var, col: Var) -> Var {
+        let (sa, sc) = (self.shape_of(a), self.shape_of(col));
+        if sc != (sa.0, 1) {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "mul_col",
+                format!("column vector is {sc:?}, want ({}, 1) to broadcast over {sa:?}", sa.0),
+            );
+        }
+        let bounded = self.bounded_of(a) && self.bounded_of(col);
+        self.push("mul_col", sa, &[a, col], bounded, None)
+    }
+
+    fn sum_all(&mut self, a: Var) -> Var {
+        let bounded = self.bounded_of(a);
+        self.push("sum_all", (1, 1), &[a], bounded, None)
+    }
+
+    fn mean_all(&mut self, a: Var) -> Var {
+        let bounded = self.bounded_of(a);
+        self.push("mean_all", (1, 1), &[a], bounded, None)
+    }
+
+    fn row_sum(&mut self, a: Var) -> Var {
+        let (r, _) = self.shape_of(a);
+        let bounded = self.bounded_of(a);
+        self.push("row_sum", (r, 1), &[a], bounded, None)
+    }
+
+    fn col_mean(&mut self, a: Var) -> Var {
+        let (_, c) = self.shape_of(a);
+        let bounded = self.bounded_of(a);
+        self.push("col_mean", (1, c), &[a], bounded, None)
+    }
+
+    fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let rows = parts.first().map_or(0, |&p| self.shape_of(p).0);
+        let mut cols = 0;
+        let mut bounded = true;
+        for &p in parts {
+            let sp = self.shape_of(p);
+            if sp.0 != rows {
+                self.diag(
+                    DiagnosticKind::ShapeMismatch,
+                    "concat_cols",
+                    format!("part has {} rows, first part has {rows}", sp.0),
+                );
+            }
+            cols += sp.1;
+            bounded &= self.bounded_of(p);
+        }
+        self.push("concat_cols", (rows, cols), parts, bounded, None)
+    }
+
+    fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let sa = self.shape_of(a);
+        if start > end || end > sa.1 {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "slice_cols",
+                format!("column slice [{start}, {end}) out of bounds for {sa:?}"),
+            );
+        }
+        let bounded = self.bounded_of(a);
+        self.push("slice_cols", (sa.0, end.saturating_sub(start)), &[a], bounded, None)
+    }
+
+    fn gather(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
+        let sa = self.shape_of(a);
+        if let Some(&bad) = idx.iter().find(|&&i| i >= sa.0) {
+            self.diag(
+                DiagnosticKind::IndexRange,
+                "gather",
+                format!("index {bad} out of range for a table with {} rows", sa.0),
+            );
+        }
+        let bounded = self.bounded_of(a);
+        self.push("gather", (idx.len(), sa.1), &[a], bounded, None)
+    }
+
+    fn layer_norm_rows(&mut self, a: Var, _eps: f32) -> Var {
+        self.unary("layer_norm_rows", a, true)
+    }
+
+    fn l2_normalize_rows(&mut self, a: Var, _eps: f32) -> Var {
+        self.unary("l2_normalize_rows", a, true)
+    }
+
+    fn row_dots(&mut self, a: Var, b: Var) -> Var {
+        self.require_same("row_dots", a, b);
+        let (r, _) = self.shape_of(a);
+        let bounded = self.bounded_of(a) && self.bounded_of(b);
+        self.push("row_dots", (r, 1), &[a, b], bounded, None)
+    }
+
+    fn softmax_rows(&mut self, a: Var) -> Var {
+        self.unary("softmax_rows", a, true)
+    }
+
+    fn segment_softmax(&mut self, logits: Var, seg: Rc<Vec<usize>>) -> Var {
+        let sl = self.shape_of(logits);
+        if sl.1 != 1 {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "segment_softmax",
+                format!("logits must be E × 1, got {sl:?}"),
+            );
+        }
+        self.check_segments("segment_softmax", &seg, sl.0);
+        self.push("segment_softmax", sl, &[logits], true, None)
+    }
+
+    fn segment_weighted_sum(&mut self, w: Var, v: Var, seg: Rc<Vec<usize>>) -> Var {
+        let (sw, sv) = (self.shape_of(w), self.shape_of(v));
+        if sw.1 != 1 {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "segment_weighted_sum",
+                format!("weights must be E × 1, got {sw:?}"),
+            );
+        }
+        if sw.0 != sv.0 {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "segment_weighted_sum",
+                format!("{} weights for {} value rows", sw.0, sv.0),
+            );
+        }
+        self.check_segments("segment_weighted_sum", &seg, sv.0);
+        let n = seg.len().saturating_sub(1);
+        let bounded = self.bounded_of(w) && self.bounded_of(v);
+        self.push("segment_weighted_sum", (n, sv.1), &[w, v], bounded, None)
+    }
+
+    fn dropout_mask(&mut self, a: Var, mask: Matrix) -> Var {
+        let sa = self.shape_of(a);
+        if mask.shape() != sa {
+            self.diag(
+                DiagnosticKind::ShapeMismatch,
+                "dropout",
+                format!("mask is {:?}, input is {sa:?}", mask.shape()),
+            );
+        }
+        let bounded = self.bounded_of(a);
+        self.push("dropout", sa, &[a], bounded, None)
+    }
+}

@@ -8,13 +8,20 @@
 //!
 //! # Design
 //!
-//! A [`Tape`] records one forward pass as a flat vector of nodes. Each node
-//! stores its operation (a closed [`Op`] enum — no boxed closures, so the
-//! backward pass is a single dispatch loop) and its forward value.
-//! [`Tape::backward_into`] walks the nodes in reverse, accumulating
-//! gradients. Parameters live outside the tape in a [`ParamSet`]; each
-//! training step builds a fresh tape, copies parameter values in as leaves,
-//! and scatters gradients back out, which keeps borrows trivially correct.
+//! The graph-building surface is the [`Recorder`] trait; [`Tape`] is its
+//! concrete implementation. A [`Tape`] records one forward pass as a flat
+//! vector of nodes. Each node stores its operation (a closed `Op` enum — no
+//! boxed closures, so the backward pass is a single dispatch loop) and its
+//! forward value. [`Tape::backward_into`] walks the nodes in reverse,
+//! accumulating gradients. Parameters live outside the tape in a
+//! [`ParamSet`]; each training step builds a fresh tape, copies parameter
+//! values in as leaves, and scatters gradients back out, which keeps
+//! borrows trivially correct.
+//!
+//! Because models are written against `R: Recorder`, the same forward-pass
+//! code can be abstractly interpreted by `dgnn-analysis`'s `ShapeTracer`
+//! (shape checking, dead-subgraph and stability audits) without executing
+//! any tensor math.
 //!
 //! Gradients of every operation are verified against central finite
 //! differences in this crate's test suite (`tests/grad_check.rs`).
@@ -22,7 +29,7 @@
 //! # Example
 //!
 //! ```
-//! use dgnn_autograd::{Adam, Optimizer, ParamSet, Tape};
+//! use dgnn_autograd::{Adam, Optimizer, ParamSet, Recorder, Tape};
 //! use dgnn_tensor::{Init, Matrix};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
@@ -55,8 +62,10 @@
 
 mod optim;
 mod params;
+mod recorder;
 mod tape;
 
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamSet};
-pub use tape::{Tape, Var};
+pub use recorder::{Recorder, Var};
+pub use tape::Tape;

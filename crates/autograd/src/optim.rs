@@ -94,7 +94,7 @@ impl Optimizer for Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Tape;
+    use crate::{Recorder, Tape};
     use dgnn_tensor::Matrix;
 
     /// Minimizes f(x) = (x − 3)² and checks convergence to 3.

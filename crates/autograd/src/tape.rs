@@ -5,13 +5,10 @@ use std::rc::Rc;
 use dgnn_tensor::{Csr, Matrix};
 
 use crate::params::{ParamId, ParamSet};
-
-/// Handle to a value recorded on a [`Tape`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Var(usize);
+use crate::recorder::{Recorder, Var};
 
 /// One recorded operation. Kept private: the public API is the builder
-/// methods on [`Tape`].
+/// surface of [`Recorder`] as implemented by [`Tape`].
 #[derive(Debug)]
 enum Op {
     /// Constant or parameter leaf; `param` links back to the [`ParamSet`].
@@ -49,7 +46,8 @@ enum Op {
     /// Sparse propagation `A · b`; `at` is `Aᵀ` for the backward pass.
     Spmm { at: Rc<Csr>, b: Var },
     /// Row-wise LayerNorm without affine terms (compose with
-    /// [`Tape::mul_row`]/[`Tape::add_row`] for ω₁/ω₂ of the paper's Eq. 7).
+    /// [`Recorder::mul_row`]/[`Recorder::add_row`] for ω₁/ω₂ of the
+    /// paper's Eq. 7).
     LayerNormRow { a: Var, eps: f32 },
     /// Row-wise L2 normalization (DGCF intent routing).
     RowL2Norm { a: Var, eps: f32 },
@@ -72,16 +70,35 @@ struct Node {
 
 /// Records one forward pass and computes gradients on demand.
 ///
-/// A tape is cheap to construct; build a fresh one per training step.
+/// A tape is cheap to construct; build a fresh one per training step. The
+/// graph-building surface lives on the [`Recorder`] trait so that models
+/// written against `R: Recorder` can also be abstractly interpreted (shape
+/// checking, dead-subgraph audits) without executing any tensor math.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    finite_checks: bool,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
+    }
+
+    /// Enables (or disables) the runtime finite-value guard: with checks
+    /// on, every recorded op asserts — in release builds too — that its
+    /// forward value contains no NaN/∞, panicking at the first op that
+    /// produces one instead of minutes later in a corrupted optimizer
+    /// state. Defaults to off; debug builds always check.
+    pub fn with_finite_checks(mut self, on: bool) -> Self {
+        self.finite_checks = on;
+        self
+    }
+
+    /// True when the runtime finite-value guard is enabled.
+    pub fn finite_checks(&self) -> bool {
+        self.finite_checks
     }
 
     /// Number of recorded nodes.
@@ -100,305 +117,13 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
-        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        if self.finite_checks {
+            assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        } else {
+            debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        }
         self.nodes.push(Node { op, value });
         Var(self.nodes.len() - 1)
-    }
-
-    // ---- leaves ---------------------------------------------------------
-
-    /// Records a constant (no gradient flows to it).
-    pub fn constant(&mut self, value: Matrix) -> Var {
-        self.push(Op::Leaf { param: None }, value)
-    }
-
-    /// Records a parameter leaf; its gradient is scattered back to the
-    /// [`ParamSet`] by [`Tape::backward_into`].
-    pub fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
-        self.push(Op::Leaf { param: Some(id) }, params.value(id).clone())
-    }
-
-    // ---- elementwise ----------------------------------------------------
-
-    /// `a + b` (same shape).
-    pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(Op::Add(a, b), v)
-    }
-
-    /// `a - b` (same shape).
-    pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(Op::Sub(a, b), v)
-    }
-
-    /// Elementwise `a ⊙ b` (same shape; `a` may equal `b`).
-    pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul_elem(self.value(b));
-        self.push(Op::Mul(a, b), v)
-    }
-
-    /// `-a`.
-    pub fn neg(&mut self, a: Var) -> Var {
-        let v = self.value(a).scale(-1.0);
-        self.push(Op::Neg(a), v)
-    }
-
-    /// `k · a`.
-    pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let v = self.value(a).scale(k);
-        self.push(Op::Scale(a, k), v)
-    }
-
-    /// `a + k` (entrywise).
-    pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
-        let v = self.value(a).map(|x| x + k);
-        self.push(Op::AddScalar(a), v)
-    }
-
-    // ---- linear algebra --------------------------------------------------
-
-    /// Matrix product `a · b`.
-    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), v)
-    }
-
-    /// `aᵀ`.
-    pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.value(a).transpose();
-        self.push(Op::Transpose(a), v)
-    }
-
-    /// Sparse propagation `adj · b`. The transpose is taken once and shared
-    /// via `Rc`, so pre-transpose and reuse across steps when possible (see
-    /// [`Tape::spmm_with`]).
-    pub fn spmm(&mut self, adj: &Rc<Csr>, b: Var) -> Var {
-        let at = Rc::new(adj.transpose());
-        self.spmm_with(adj, &at, b)
-    }
-
-    /// Sparse propagation with a caller-provided transpose (avoids
-    /// re-transposing the adjacency on every training step).
-    pub fn spmm_with(&mut self, adj: &Rc<Csr>, adj_t: &Rc<Csr>, b: Var) -> Var {
-        assert_eq!(adj.rows(), adj_t.cols(), "spmm_with: adj_t is not adjᵀ (shape)");
-        assert_eq!(adj.cols(), adj_t.rows(), "spmm_with: adj_t is not adjᵀ (shape)");
-        let v = adj.spmm(self.value(b));
-        self.push(Op::Spmm { at: Rc::clone(adj_t), b }, v)
-    }
-
-    // ---- activations -----------------------------------------------------
-
-    /// Logistic sigmoid.
-    pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(stable_sigmoid);
-        self.push(Op::Sigmoid(a), v)
-    }
-
-    /// Hyperbolic tangent.
-    pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
-        self.push(Op::Tanh(a), v)
-    }
-
-    /// LeakyReLU with negative slope `alpha` (the paper uses 0.2).
-    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
-        self.push(Op::LeakyRelu(a, alpha), v)
-    }
-
-    /// ReLU.
-    pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(Op::Relu(a), v)
-    }
-
-    /// Entrywise `eˣ`.
-    pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
-        self.push(Op::Exp(a), v)
-    }
-
-    /// Numerically-stable `softplus(x) = ln(1 + eˣ)`.
-    ///
-    /// `mean(softplus(-(pos − neg)))` is exactly the paper's BPR loss
-    /// `-ln σ(pos − neg)` (Eq. 11); see [`Tape::bpr_loss`].
-    pub fn softplus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
-        self.push(Op::Softplus(a), v)
-    }
-
-    // ---- broadcasts ------------------------------------------------------
-
-    /// Adds the `1 × d` row vector `row` to every row of `a` (bias terms).
-    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let v = self.value(a).add_row_broadcast(self.value(row));
-        self.push(Op::AddRow(a, row), v)
-    }
-
-    /// Multiplies every row of `a` elementwise by the `1 × d` vector `row`
-    /// (LayerNorm scale ω₁ in the paper's Eq. 7).
-    pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
-        let v = self.value(a).mul_row_broadcast(self.value(row));
-        self.push(Op::MulRow(a, row), v)
-    }
-
-    /// Multiplies row `i` of `a` by the scalar `col[i]` (`col` is `n × 1`;
-    /// memory-unit attention weighting in the paper's Eq. 3).
-    pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
-        let v = self.value(a).mul_col_broadcast(self.value(col));
-        self.push(Op::MulCol(a, col), v)
-    }
-
-    // ---- reductions ------------------------------------------------------
-
-    /// Scalar (`1 × 1`) sum of all entries.
-    pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Matrix::full(1, 1, self.value(a).sum());
-        self.push(Op::SumAll(a), v)
-    }
-
-    /// Scalar (`1 × 1`) mean of all entries.
-    pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Matrix::full(1, 1, self.value(a).mean());
-        self.push(Op::MeanAll(a), v)
-    }
-
-    /// `n × 1` per-row sums.
-    pub fn row_sum(&mut self, a: Var) -> Var {
-        let v = self.value(a).row_sums();
-        self.push(Op::RowSum(a), v)
-    }
-
-    /// `1 × d` per-column means (graph readout).
-    pub fn col_mean(&mut self, a: Var) -> Var {
-        let rows = self.value(a).rows().max(1) as f32;
-        let v = self.value(a).col_sums().scale(1.0 / rows);
-        self.push(Op::ColMean(a), v)
-    }
-
-    // ---- structure -------------------------------------------------------
-
-    /// Left-to-right concatenation (cross-layer aggregation, Eq. 8).
-    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Matrix::concat_cols(&mats);
-        self.push(Op::ConcatCols(parts.to_vec()), v)
-    }
-
-    /// Copy of columns `[start, end)` (multi-head splitting).
-    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
-        let v = self.value(a).slice_cols(start, end);
-        self.push(Op::SliceCols { a, start, end }, v)
-    }
-
-    /// Embedding lookup: output row `i` is `a.row(idx[i])`. Duplicate
-    /// indices are allowed; their gradients accumulate.
-    pub fn gather(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
-        let v = self.value(a).gather_rows(&idx);
-        self.push(Op::Gather { a, idx }, v)
-    }
-
-    // ---- normalizers -----------------------------------------------------
-
-    /// Row-wise LayerNorm `(x − μ) / √(σ² + eps)` without affine terms.
-    pub fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
-        let x = self.value(a);
-        let mut v = x.clone();
-        for r in 0..v.rows() {
-            layer_norm_row(v.row_mut(r), eps);
-        }
-        self.push(Op::LayerNormRow { a, eps }, v)
-    }
-
-    /// Row-wise L2 normalization; rows with norm ≤ `eps` pass through.
-    pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
-        let v = self.value(a).l2_normalize_rows(eps);
-        self.push(Op::RowL2Norm { a, eps }, v)
-    }
-
-    /// `n × 1` per-row dot products (scoring a batch of user/item pairs).
-    pub fn row_dots(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).row_dots(self.value(b));
-        self.push(Op::RowDots(a, b), v)
-    }
-
-    /// Row-wise softmax.
-    pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let v = self.value(a).softmax_rows();
-        self.push(Op::SoftmaxRows(a), v)
-    }
-
-    // ---- segment (edge-attention) ops -------------------------------------
-
-    /// Softmax over contiguous segments of an `E × 1` logit vector.
-    ///
-    /// `seg` is a CSR-style pointer of length `N + 1`: edges
-    /// `seg[n]..seg[n+1]` belong to target node `n`. This is the
-    /// "edge softmax" primitive behind every attention baseline (GraphRec,
-    /// HGT, KGAT, HAN, DisenHAN, SAMN).
-    pub fn segment_softmax(&mut self, logits: Var, seg: Rc<Vec<usize>>) -> Var {
-        let x = self.value(logits);
-        assert_eq!(x.cols(), 1, "segment_softmax: logits must be E × 1");
-        assert_eq!(
-            *seg.last().expect("segment pointer must be non-empty"),
-            x.rows(),
-            "segment_softmax: pointer does not cover all edges"
-        );
-        let mut v = x.clone();
-        for n in 0..seg.len() - 1 {
-            let (lo, hi) = (seg[n], seg[n + 1]);
-            softmax_slice(&mut v.as_mut_slice()[lo..hi]);
-        }
-        self.push(Op::SegmentSoftmax { logits, seg }, v)
-    }
-
-    /// Weighted segment sum: `out[n] = Σ_{e ∈ seg(n)} w[e] · v.row(e)`.
-    ///
-    /// With `w` from [`Tape::segment_softmax`] this is attention
-    /// aggregation; with constant weights it is plain neighborhood sum.
-    pub fn segment_weighted_sum(&mut self, w: Var, v: Var, seg: Rc<Vec<usize>>) -> Var {
-        let wv = self.value(w);
-        let vv = self.value(v);
-        assert_eq!(wv.cols(), 1, "segment_weighted_sum: weights must be E × 1");
-        assert_eq!(wv.rows(), vv.rows(), "segment_weighted_sum: weight/value mismatch");
-        assert_eq!(
-            *seg.last().expect("segment pointer must be non-empty"),
-            vv.rows(),
-            "segment_weighted_sum: pointer does not cover all edges"
-        );
-        let n = seg.len() - 1;
-        let d = vv.cols();
-        let mut out = Matrix::zeros(n, d);
-        for i in 0..n {
-            for e in seg[i]..seg[i + 1] {
-                let we = wv[(e, 0)];
-                for (o, &x) in out.row_mut(i).iter_mut().zip(vv.row(e)) {
-                    *o += we * x;
-                }
-            }
-        }
-        self.push(Op::SegmentWeightedSum { w, v, seg }, out)
-    }
-
-    // ---- misc --------------------------------------------------------------
-
-    /// Elementwise product with a fixed 0/`1/(1-p)` mask (inverted dropout).
-    /// The mask is treated as a constant.
-    pub fn dropout_mask(&mut self, a: Var, mask: Matrix) -> Var {
-        assert_eq!(self.value(a).shape(), mask.shape(), "dropout: mask shape mismatch");
-        let v = self.value(a).mul_elem(&mask);
-        self.push(Op::Dropout { a, mask }, v)
-    }
-
-    /// The paper's pairwise BPR objective (Eq. 11 without the weight-decay
-    /// term, which the optimizers apply):
-    /// `mean(softplus(−(pos − neg))) = mean(−ln σ(pos − neg))`.
-    pub fn bpr_loss(&mut self, pos_scores: Var, neg_scores: Var) -> Var {
-        let diff = self.sub(pos_scores, neg_scores);
-        let neg_diff = self.neg(diff);
-        let sp = self.softplus(neg_diff);
-        self.mean_all(sp)
     }
 
     // ---- reverse pass ------------------------------------------------------
@@ -646,6 +371,239 @@ impl Tape {
                 Self::accum(grads, *a, g.mul_elem(mask));
             }
         }
+    }
+}
+
+impl Recorder for Tape {
+    // ---- leaves ---------------------------------------------------------
+
+    fn constant(&mut self, value: Matrix) -> Var {
+        self.push(Op::Leaf { param: None }, value)
+    }
+
+    fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        self.push(Op::Leaf { param: Some(id) }, params.value(id).clone())
+    }
+
+    fn shape(&self, v: Var) -> (usize, usize) {
+        self.value(v).shape()
+    }
+
+    // ---- elementwise ----------------------------------------------------
+
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul_elem(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push(Op::Neg(a), v)
+    }
+
+    fn scale(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).scale(k);
+        self.push(Op::Scale(a, k), v)
+    }
+
+    fn add_scalar(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).map(|x| x + k);
+        self.push(Op::AddScalar(a), v)
+    }
+
+    // ---- linear algebra --------------------------------------------------
+
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    fn spmm_with(&mut self, adj: &Rc<Csr>, adj_t: &Rc<Csr>, b: Var) -> Var {
+        assert_eq!(adj.rows(), adj_t.cols(), "spmm_with: adj_t is not adjᵀ (shape)");
+        assert_eq!(adj.cols(), adj_t.rows(), "spmm_with: adj_t is not adjᵀ (shape)");
+        let v = adj.spmm(self.value(b));
+        self.push(Op::Spmm { at: Rc::clone(adj_t), b }, v)
+    }
+
+    // ---- activations -----------------------------------------------------
+
+    fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
+        self.push(Op::LeakyRelu(a, alpha), v)
+    }
+
+    fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+        self.push(Op::Softplus(a), v)
+    }
+
+    // ---- broadcasts ------------------------------------------------------
+
+    fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(row));
+        self.push(Op::AddRow(a, row), v)
+    }
+
+    fn mul_row(&mut self, a: Var, row: Var) -> Var {
+        let v = self.value(a).mul_row_broadcast(self.value(row));
+        self.push(Op::MulRow(a, row), v)
+    }
+
+    fn mul_col(&mut self, a: Var, col: Var) -> Var {
+        let v = self.value(a).mul_col_broadcast(self.value(col));
+        self.push(Op::MulCol(a, col), v)
+    }
+
+    // ---- reductions ------------------------------------------------------
+
+    fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(a).sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    fn mean_all(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(a).mean());
+        self.push(Op::MeanAll(a), v)
+    }
+
+    fn row_sum(&mut self, a: Var) -> Var {
+        let v = self.value(a).row_sums();
+        self.push(Op::RowSum(a), v)
+    }
+
+    fn col_mean(&mut self, a: Var) -> Var {
+        let rows = self.value(a).rows().max(1) as f32;
+        let v = self.value(a).col_sums().scale(1.0 / rows);
+        self.push(Op::ColMean(a), v)
+    }
+
+    // ---- structure -------------------------------------------------------
+
+    fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Matrix::concat_cols(&mats);
+        self.push(Op::ConcatCols(parts.to_vec()), v)
+    }
+
+    fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(Op::SliceCols { a, start, end }, v)
+    }
+
+    fn gather(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
+        let v = self.value(a).gather_rows(&idx);
+        self.push(Op::Gather { a, idx }, v)
+    }
+
+    // ---- normalizers -----------------------------------------------------
+
+    fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
+        let x = self.value(a);
+        let mut v = x.clone();
+        for r in 0..v.rows() {
+            layer_norm_row(v.row_mut(r), eps);
+        }
+        self.push(Op::LayerNormRow { a, eps }, v)
+    }
+
+    fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let v = self.value(a).l2_normalize_rows(eps);
+        self.push(Op::RowL2Norm { a, eps }, v)
+    }
+
+    fn row_dots(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).row_dots(self.value(b));
+        self.push(Op::RowDots(a, b), v)
+    }
+
+    fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        self.push(Op::SoftmaxRows(a), v)
+    }
+
+    // ---- segment (edge-attention) ops ------------------------------------
+
+    fn segment_softmax(&mut self, logits: Var, seg: Rc<Vec<usize>>) -> Var {
+        let x = self.value(logits);
+        assert_eq!(x.cols(), 1, "segment_softmax: logits must be E × 1");
+        assert_eq!(
+            *seg.last().expect("segment pointer must be non-empty"),
+            x.rows(),
+            "segment_softmax: pointer does not cover all edges"
+        );
+        let mut v = x.clone();
+        for n in 0..seg.len() - 1 {
+            let (lo, hi) = (seg[n], seg[n + 1]);
+            softmax_slice(&mut v.as_mut_slice()[lo..hi]);
+        }
+        self.push(Op::SegmentSoftmax { logits, seg }, v)
+    }
+
+    fn segment_weighted_sum(&mut self, w: Var, v: Var, seg: Rc<Vec<usize>>) -> Var {
+        let wv = self.value(w);
+        let vv = self.value(v);
+        assert_eq!(wv.cols(), 1, "segment_weighted_sum: weights must be E × 1");
+        assert_eq!(wv.rows(), vv.rows(), "segment_weighted_sum: weight/value mismatch");
+        assert_eq!(
+            *seg.last().expect("segment pointer must be non-empty"),
+            vv.rows(),
+            "segment_weighted_sum: pointer does not cover all edges"
+        );
+        let n = seg.len() - 1;
+        let d = vv.cols();
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            for e in seg[i]..seg[i + 1] {
+                let we = wv[(e, 0)];
+                for (o, &x) in out.row_mut(i).iter_mut().zip(vv.row(e)) {
+                    *o += we * x;
+                }
+            }
+        }
+        self.push(Op::SegmentWeightedSum { w, v, seg }, out)
+    }
+
+    // ---- misc ------------------------------------------------------------
+
+    fn dropout_mask(&mut self, a: Var, mask: Matrix) -> Var {
+        assert_eq!(self.value(a).shape(), mask.shape(), "dropout: mask shape mismatch");
+        let v = self.value(a).mul_elem(&mask);
+        self.push(Op::Dropout { a, mask }, v)
     }
 }
 

@@ -7,7 +7,7 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{ParamSet, Tape, Var};
+use dgnn_autograd::{ParamSet, Recorder, Tape, Var};
 use dgnn_tensor::{Csr, CsrBuilder, Matrix};
 
 const H: f32 = 1e-3;

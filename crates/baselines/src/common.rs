@@ -3,7 +3,7 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{Adam, Optimizer, ParamSet, Tape, Var};
+use dgnn_autograd::{Adam, Optimizer, ParamSet, Recorder, Tape, Var};
 use dgnn_data::{TrainSampler, Triple};
 use dgnn_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -58,8 +58,8 @@ impl BatchIdx {
 }
 
 /// BPR loss over final user/item embedding matrices for a batch.
-pub(crate) fn bpr_from_embeddings(
-    tape: &mut Tape,
+pub(crate) fn bpr_from_embeddings<R: Recorder>(
+    tape: &mut R,
     users_final: Var,
     items_final: Var,
     idx: &BatchIdx,

@@ -13,8 +13,8 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{Adam, ParamId, ParamSet, Tape, Var};
-use dgnn_data::{Dataset, TrainSampler};
+use dgnn_autograd::{Adam, ParamId, ParamSet, Recorder, Tape, Var};
+use dgnn_data::{Dataset, TrainSampler, Triple};
 use dgnn_eval::{Recommender, Trainable};
 use dgnn_tensor::{Csr, Init, Matrix};
 use rand::rngs::StdRng;
@@ -72,8 +72,8 @@ struct DgcfState {
 
 /// One routing pass: refines the destination chunks from source chunks.
 /// Returns the refreshed per-intent destination chunks.
-fn route(
-    tape: &mut Tape,
+fn route<R: Recorder>(
+    tape: &mut R,
     edges: &Edges,
     dst_chunks: &[Var],
     src_chunks: &[Var],
@@ -86,7 +86,7 @@ fn route(
     let mut logits: Vec<Var> =
         (0..NUM_FACTORS).map(|_| tape.constant(Matrix::zeros(e, 1))).collect();
     let mut out = dst_chunks.to_vec();
-    for _ in 0..ROUTING_ITERS {
+    for it in 0..ROUTING_ITERS {
         let cat = tape.concat_cols(&logits);
         let alpha = tape.softmax_rows(cat);
         let mut new_logits = Vec::with_capacity(NUM_FACTORS);
@@ -100,18 +100,30 @@ fn route(
             let refreshed = tape.add(dst_chunks[k], msg);
             let refreshed = tape.l2_normalize_rows(refreshed, 1e-9);
             out[k] = refreshed;
-            // Routing update: s += u_dst · tanh(v_src) per edge.
-            let u_e = tape.gather(refreshed, Rc::clone(&edges.dst));
-            let v_t = tape.tanh(src_e);
-            let aff = tape.row_dots(u_e, v_t);
-            new_logits.push(tape.add(logits[k], aff));
+            // Routing update: s += u_dst · tanh(v_src) per edge. The
+            // refreshed logits are consumed by the next iteration's
+            // softmax, so the last iteration would only build dead
+            // tape nodes: skip it.
+            if it + 1 < ROUTING_ITERS {
+                let u_e = tape.gather(refreshed, Rc::clone(&edges.dst));
+                let v_t = tape.tanh(src_e);
+                let aff = tape.row_dots(u_e, v_t);
+                new_logits.push(tape.add(logits[k], aff));
+            }
         }
-        logits = new_logits;
+        if it + 1 < ROUTING_ITERS {
+            logits = new_logits;
+        }
     }
     out
 }
 
-fn dgcf_forward(st: &DgcfState, d: usize, tape: &mut Tape, params: &ParamSet) -> (Var, Var) {
+fn dgcf_forward<R: Recorder>(
+    st: &DgcfState,
+    d: usize,
+    tape: &mut R,
+    params: &ParamSet,
+) -> (Var, Var) {
     let dc = d / NUM_FACTORS;
     let eu = tape.param(params, st.e_user);
     let ev = tape.param(params, st.e_item);
@@ -130,6 +142,24 @@ fn dgcf_forward(st: &DgcfState, d: usize, tape: &mut Tape, params: &ParamSet) ->
     (users, items)
 }
 
+/// Registers DGCF's parameters and edge lists — shared by training and
+/// the static-analysis trace entry.
+fn dgcf_build_state(cfg: &BaselineConfig, data: &Dataset, seed: u64) -> (ParamSet, DgcfState) {
+    let g = &data.graph;
+    let mut rng_init = StdRng::seed_from_u64(seed);
+    let mut params = ParamSet::new();
+    let d = cfg.dim;
+    let e_user = params.add("e_user", Init::Uniform(0.1).build(g.num_users(), d, &mut rng_init));
+    let e_item = params.add("e_item", Init::Uniform(0.1).build(g.num_items(), d, &mut rng_init));
+    let st = DgcfState {
+        e_user,
+        e_item,
+        user_side: Edges::from_csr(g.ui()),
+        item_side: Edges::from_csr(g.iu()),
+    };
+    (params, st)
+}
+
 /// The DGCF recommender.
 pub struct Dgcf {
     cfg: BaselineConfig,
@@ -145,6 +175,22 @@ impl Dgcf {
         Self { cfg, scorer: Scorer::default(), loss_history: Vec::new() }
     }
 
+    /// Records one full training step (forward pass + BPR loss over
+    /// `triples`) onto `rec` without training — the static-analysis entry
+    /// point. Returns the registered parameters and the loss variable.
+    pub fn trace_step<R: Recorder>(
+        cfg: &BaselineConfig,
+        data: &Dataset,
+        triples: &[Triple],
+        seed: u64,
+        rec: &mut R,
+    ) -> (ParamSet, Var) {
+        let (params, st) = dgcf_build_state(cfg, data, seed);
+        let (users, items) = dgcf_forward(&st, cfg.dim, rec, &params);
+        let loss = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));
+        (params, loss)
+    }
+
     /// Trains with a per-epoch hook (drives the paper's Figure 8).
     pub fn fit_epochs(
         &mut self,
@@ -153,17 +199,8 @@ impl Dgcf {
         mut on_epoch: impl FnMut(&Self, usize, f32),
     ) {
         let g = &data.graph;
-        let mut rng_init = StdRng::seed_from_u64(seed);
-        let mut params = ParamSet::new();
+        let (mut params, st) = dgcf_build_state(&self.cfg, data, seed);
         let d = self.cfg.dim;
-        let e_user = params.add("e_user", Init::Uniform(0.1).build(g.num_users(), d, &mut rng_init));
-        let e_item = params.add("e_item", Init::Uniform(0.1).build(g.num_items(), d, &mut rng_init));
-        let st = DgcfState {
-            e_user,
-            e_item,
-            user_side: Edges::from_csr(g.ui()),
-            item_side: Edges::from_csr(g.iu()),
-        };
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E11E5);
@@ -240,8 +277,8 @@ struct DisenState {
 /// Aspect-wise relation attention + semantic combination for one target
 /// node family.
 #[allow(clippy::too_many_arguments)]
-fn disen_aggregate(
-    tape: &mut Tape,
+fn disen_aggregate<R: Recorder>(
+    tape: &mut R,
     params: &ParamSet,
     families: &[(Family, bool)],
     target: Var,
@@ -257,12 +294,15 @@ fn disen_aggregate(
         let mut sems = Vec::new();
         for (fam, use_secondary) in families {
             let src_tbl = if *use_secondary { secondary_src } else { primary_src };
-            let s_k = tape.slice_cols(src_tbl, k * dc, (k + 1) * dc);
-            let w = tape.param(params, fam.w[k]);
-            let s_w = tape.matmul(s_k, w);
             let z = if fam.edges.is_empty() {
+                // No edges: the source transform would be dead compute that
+                // never reaches the loss (the graph auditor flags exactly
+                // this), so only the zero message is recorded.
                 tape.constant(Matrix::zeros(n, dc))
             } else {
+                let s_k = tape.slice_cols(src_tbl, k * dc, (k + 1) * dc);
+                let w = tape.param(params, fam.w[k]);
+                let s_w = tape.matmul(s_k, w);
                 let se = tape.gather(s_w, Rc::clone(&fam.edges.src));
                 let te = tape.gather(t_k, Rc::clone(&fam.edges.dst));
                 let logits = tape.row_dots(te, se);
@@ -295,16 +335,59 @@ fn disen_aggregate(
     tape.concat_cols(&aspect_outs)
 }
 
-fn disen_forward(st: &DisenState, d: usize, tape: &mut Tape, params: &ParamSet) -> (Var, Var) {
+fn disen_forward<R: Recorder>(
+    st: &DisenState,
+    d: usize,
+    tape: &mut R,
+    params: &ParamSet,
+) -> (Var, Var) {
     let dc = d / NUM_FACTORS;
     let eu = tape.param(params, st.e_user);
     let ev = tape.param(params, st.e_item);
     let er = tape.param(params, st.e_rel);
-    let nu = tape.value(eu).rows();
-    let nv = tape.value(ev).rows();
+    let nu = tape.shape(eu).0;
+    let nv = tape.shape(ev).0;
     let users = disen_aggregate(tape, params, &st.user_families, eu, eu, ev, nu, dc);
     let items = disen_aggregate(tape, params, &st.item_families, ev, eu, er, nv, dc);
     (users, items)
+}
+
+/// Registers DisenHAN's parameters and relation families — shared by
+/// training and the static-analysis trace entry.
+fn disen_build_state(cfg: &BaselineConfig, data: &Dataset, seed: u64) -> (ParamSet, DisenState) {
+    let g = &data.graph;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = ParamSet::new();
+    let d = cfg.dim;
+    let dc = d / NUM_FACTORS;
+    let e_user = params.add("e_user", Init::Uniform(0.1).build(g.num_users(), d, &mut rng));
+    let e_item = params.add("e_item", Init::Uniform(0.1).build(g.num_items(), d, &mut rng));
+    let e_rel =
+        params.add("e_rel", Init::Uniform(0.1).build(g.num_relations().max(1), d, &mut rng));
+    let mut make_family = |name: &str, csr: &Csr| -> Family {
+        Family {
+            edges: Edges::from_csr(csr),
+            w: (0..NUM_FACTORS)
+                .map(|k| {
+                    params.add(
+                        format!("{name}/w[{k}]"),
+                        Init::XavierUniform.build(dc, dc, &mut rng),
+                    )
+                })
+                .collect(),
+            q: params.add(format!("{name}/q"), Init::XavierUniform.build(dc, 1, &mut rng)),
+        }
+    };
+    let user_families = vec![
+        (make_family("social", g.ss()), false),
+        (make_family("interact_u", g.ui()), true),
+    ];
+    let item_families = vec![
+        (make_family("interact_v", g.iu()), false),
+        (make_family("knowledge", g.ir()), true),
+    ];
+    let st = DisenState { e_user, e_item, e_rel, user_families, item_families };
+    (params, st)
 }
 
 /// The DisenHAN recommender.
@@ -321,6 +404,22 @@ impl DisenHan {
         assert_eq!(cfg.dim % NUM_FACTORS, 0, "DisenHAN: dim must be divisible by {NUM_FACTORS}");
         Self { cfg, scorer: Scorer::default(), loss_history: Vec::new() }
     }
+
+    /// Records one full training step (forward pass + BPR loss over
+    /// `triples`) onto `rec` without training — the static-analysis entry
+    /// point. Returns the registered parameters and the loss variable.
+    pub fn trace_step<R: Recorder>(
+        cfg: &BaselineConfig,
+        data: &Dataset,
+        triples: &[Triple],
+        seed: u64,
+        rec: &mut R,
+    ) -> (ParamSet, Var) {
+        let (params, st) = disen_build_state(cfg, data, seed);
+        let (users, items) = disen_forward(&st, cfg.dim, rec, &params);
+        let loss = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));
+        (params, loss)
+    }
 }
 
 impl Recommender for DisenHan {
@@ -336,39 +435,8 @@ impl Recommender for DisenHan {
 impl Trainable for DisenHan {
     fn fit(&mut self, data: &Dataset, seed: u64) {
         let g = &data.graph;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut params = ParamSet::new();
+        let (mut params, st) = disen_build_state(&self.cfg, data, seed);
         let d = self.cfg.dim;
-        let dc = d / NUM_FACTORS;
-        let e_user = params.add("e_user", Init::Uniform(0.1).build(g.num_users(), d, &mut rng));
-        let e_item = params.add("e_item", Init::Uniform(0.1).build(g.num_items(), d, &mut rng));
-        let e_rel = params.add(
-            "e_rel",
-            Init::Uniform(0.1).build(g.num_relations().max(1), d, &mut rng),
-        );
-        let mut make_family = |name: &str, csr: &Csr| -> Family {
-            Family {
-                edges: Edges::from_csr(csr),
-                w: (0..NUM_FACTORS)
-                    .map(|k| {
-                        params.add(
-                            format!("{name}/w[{k}]"),
-                            Init::XavierUniform.build(dc, dc, &mut rng),
-                        )
-                    })
-                    .collect(),
-                q: params.add(format!("{name}/q"), Init::XavierUniform.build(dc, 1, &mut rng)),
-            }
-        };
-        let user_families = vec![
-            (make_family("social", g.ss()), false),
-            (make_family("interact_u", g.ui()), true),
-        ];
-        let item_families = vec![
-            (make_family("interact_v", g.iu()), false),
-            (make_family("knowledge", g.ir()), true),
-        ];
-        let st = DisenState { e_user, e_item, e_rel, user_families, item_families };
 
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);

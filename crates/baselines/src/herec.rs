@@ -10,7 +10,7 @@
 //! 2. A **fusion MF** combines the trainable MF embeddings with linear
 //!    transforms of the (frozen) path embeddings, trained with BPR.
 
-use dgnn_autograd::{Adam, ParamId, ParamSet, Tape, Var};
+use dgnn_autograd::{Adam, ParamId, ParamSet, Recorder, Tape, Var};
 use dgnn_data::{Dataset, TrainSampler};
 use dgnn_eval::{Recommender, Trainable};
 use dgnn_graph::{HeteroGraph, MetaPathStep, UnifiedView};

@@ -11,8 +11,8 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{Adam, ParamId, ParamSet, Tape, Var};
-use dgnn_data::{Dataset, TrainSampler};
+use dgnn_autograd::{Adam, ParamId, ParamSet, Recorder, Tape, Var};
+use dgnn_data::{Dataset, TrainSampler, Triple};
 use dgnn_eval::{Recommender, Trainable};
 use dgnn_graph::compose;
 use dgnn_tensor::{Csr, CsrBuilder, Init, Matrix};
@@ -46,7 +46,7 @@ struct State {
 
 /// Two-layer light convolution over one channel's user graph; returns the
 /// mean of the layer outputs.
-fn channel_pass(tape: &mut Tape, ch: &Channel, eu: Var, layers: usize) -> Var {
+fn channel_pass<R: Recorder>(tape: &mut R, ch: &Channel, eu: Var, layers: usize) -> Var {
     let mut h = eu;
     let mut acc = h;
     for _ in 0..layers.max(1) {
@@ -57,15 +57,15 @@ fn channel_pass(tape: &mut Tape, ch: &Channel, eu: Var, layers: usize) -> Var {
 }
 
 /// Forward pass; returns `(users, items, per-channel user embeddings)`.
-fn forward(
+fn forward<R: Recorder>(
     st: &State,
     layers: usize,
-    tape: &mut Tape,
+    tape: &mut R,
     params: &ParamSet,
 ) -> (Var, Var, Vec<Var>) {
     let eu = tape.param(params, st.e_user);
     let ev = tape.param(params, st.e_item);
-    let num_users = tape.value(eu).rows();
+    let num_users = tape.shape(eu).0;
 
     let mut channel_embs = Vec::with_capacity(st.channels.len());
     let mut scores = Vec::with_capacity(st.channels.len());
@@ -104,15 +104,15 @@ fn forward(
 
 /// InfoMax discriminator: true (node, channel-readout) pairs must outrank
 /// corrupted (shuffled-node, readout) pairs.
-fn ssl_loss(
-    tape: &mut Tape,
+fn ssl_loss<R: Recorder>(
+    tape: &mut R,
     channel_embs: &[Var],
     shuffle: &Rc<Vec<usize>>,
 ) -> Option<Var> {
     let mut total: Option<Var> = None;
     for &h in channel_embs {
         let readout = tape.col_mean(h); // 1 × d
-        let n = tape.value(h).rows();
+        let n = tape.shape(h).0;
         let ones = tape.constant(Matrix::full(n, 1, 1.0));
         let r_full = tape.matmul(ones, readout); // broadcast to n × d
         let pos = tape.row_dots(h, r_full);
@@ -185,6 +185,38 @@ fn intersect_count(a: &[usize], b: &[usize]) -> usize {
     n
 }
 
+/// Registers parameters and builds the motif channels — shared by
+/// training and by the static-analysis trace entry.
+fn build_state(cfg: &BaselineConfig, data: &Dataset, seed: u64) -> (ParamSet, State) {
+    let g = &data.graph;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = ParamSet::new();
+    let d = cfg.dim;
+    let e_user = params.add("e_user", Init::Uniform(0.1).build(g.num_users(), d, &mut rng));
+    let e_item = params.add("e_item", Init::Uniform(0.1).build(g.num_items(), d, &mut rng));
+    let channels = build_channels(g)
+        .into_iter()
+        .enumerate()
+        .map(|(c, adj)| Channel {
+            adj_t: Rc::new(adj.transpose()),
+            adj: Rc::new(adj),
+            attn: params.add(format!("attn[{c}]"), Init::XavierUniform.build(d, 1, &mut rng)),
+        })
+        .collect();
+    let ui = g.ui().row_normalized();
+    let iu = g.iu().row_normalized();
+    let st = State {
+        e_user,
+        e_item,
+        channels,
+        ui_t: Rc::new(ui.transpose()),
+        ui: Rc::new(ui),
+        iu_t: Rc::new(iu.transpose()),
+        iu: Rc::new(iu),
+    };
+    (params, st)
+}
+
 /// The MHCN recommender.
 pub struct Mhcn {
     cfg: BaselineConfig,
@@ -197,6 +229,33 @@ impl Mhcn {
     /// Creates an untrained model.
     pub fn new(cfg: BaselineConfig) -> Self {
         Self { cfg, scorer: Scorer::default(), loss_history: Vec::new() }
+    }
+
+    /// Records one full training step — forward pass, BPR loss over
+    /// `triples`, and the InfoMax term with a seed-deterministic
+    /// corruption shuffle — onto `rec` without training. The
+    /// static-analysis entry point; returns the registered parameters and
+    /// the joint loss variable.
+    pub fn trace_step<R: Recorder>(
+        cfg: &BaselineConfig,
+        data: &Dataset,
+        triples: &[Triple],
+        seed: u64,
+        rec: &mut R,
+    ) -> (ParamSet, Var) {
+        let (params, st) = build_state(cfg, data, seed);
+        let (users, items, channel_embs) = forward(&st, cfg.layers, rec, &params);
+        let bpr = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));
+        let mut shuffle: Vec<usize> = (0..data.graph.num_users()).collect();
+        shuffle.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x55F1));
+        let loss = match ssl_loss(rec, &channel_embs, &Rc::new(shuffle)) {
+            Some(ssl) => {
+                let ssl = rec.scale(ssl, SSL_WEIGHT);
+                rec.add(bpr, ssl)
+            }
+            None => bpr,
+        };
+        (params, loss)
     }
 }
 
@@ -213,31 +272,7 @@ impl Recommender for Mhcn {
 impl Trainable for Mhcn {
     fn fit(&mut self, data: &Dataset, seed: u64) {
         let g = &data.graph;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut params = ParamSet::new();
-        let d = self.cfg.dim;
-        let e_user = params.add("e_user", Init::Uniform(0.1).build(g.num_users(), d, &mut rng));
-        let e_item = params.add("e_item", Init::Uniform(0.1).build(g.num_items(), d, &mut rng));
-        let channels = build_channels(g)
-            .into_iter()
-            .enumerate()
-            .map(|(c, adj)| Channel {
-                adj_t: Rc::new(adj.transpose()),
-                adj: Rc::new(adj),
-                attn: params.add(format!("attn[{c}]"), Init::XavierUniform.build(d, 1, &mut rng)),
-            })
-            .collect();
-        let ui = g.ui().row_normalized();
-        let iu = g.iu().row_normalized();
-        let st = State {
-            e_user,
-            e_item,
-            channels,
-            ui_t: Rc::new(ui.transpose()),
-            ui: Rc::new(ui),
-            iu_t: Rc::new(iu.transpose()),
-            iu: Rc::new(iu),
-        };
+        let (mut params, st) = build_state(&self.cfg, data, seed);
 
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);

@@ -8,8 +8,8 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{Adam, ParamId, ParamSet, Tape, Var};
-use dgnn_data::{Dataset, TrainSampler};
+use dgnn_autograd::{Adam, ParamId, ParamSet, Recorder, Tape, Var};
+use dgnn_data::{Dataset, TrainSampler, Triple};
 use dgnn_eval::{Recommender, Trainable};
 use dgnn_graph::UnifiedView;
 use dgnn_tensor::{Csr, Init, Matrix};
@@ -39,11 +39,54 @@ struct State {
     item_rows: Rc<Vec<usize>>,
 }
 
-fn forward(
+/// Registers parameters and precomputes the propagation structure —
+/// shared by training and by the static-analysis trace entry.
+fn build_state(
+    variant: Variant,
+    cfg: &BaselineConfig,
+    data: &Dataset,
+    seed: u64,
+) -> (ParamSet, State) {
+    let g = &data.graph;
+    let view = UnifiedView::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = ParamSet::new();
+    let emb = params.add("emb", Init::Uniform(0.1).build(view.num_nodes(), cfg.dim, &mut rng));
+    let mut w1 = Vec::new();
+    let mut w2 = Vec::new();
+    for l in 0..cfg.layers {
+        w1.push(params.add(
+            format!("w1[{l}]"),
+            Init::XavierUniform.build(cfg.dim, cfg.dim, &mut rng),
+        ));
+        // GCCF's linear convolution has no feature-interaction term, so W₂
+        // would be registered but never reach the loss — the graph auditor
+        // flags exactly this as an UnusedParam. Register it for NGCF only
+        // (burning the draws keeps the W₁ init stream variant-independent).
+        let w2_init = Init::XavierUniform.build(cfg.dim, cfg.dim, &mut rng);
+        if variant == Variant::Ngcf {
+            w2.push(params.add(format!("w2[{l}]"), w2_init));
+        }
+    }
+    let adj = g.unified_adj(true, true).sym_normalized();
+    let adj_t = Rc::new(adj.transpose());
+    let st = State {
+        emb,
+        w1,
+        w2,
+        adj: Rc::new(adj),
+        adj_t,
+        user_rows: Rc::new((0..g.num_users()).map(|u| view.user(u)).collect()),
+        item_rows: Rc::new((0..g.num_items()).map(|v| view.item(v)).collect()),
+    };
+    (params, st)
+}
+
+fn forward<R: Recorder>(
     st: &State,
     variant: Variant,
     layers: usize,
-    tape: &mut Tape,
+    tape: &mut R,
     params: &ParamSet,
 ) -> (Var, Var) {
     let mut h = tape.param(params, st.emb);
@@ -99,36 +142,7 @@ impl GraphCf {
 
     fn fit_impl(&mut self, data: &Dataset, seed: u64) {
         let g = &data.graph;
-        let view = UnifiedView::new(g);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut params = ParamSet::new();
-        let emb = params.add(
-            "emb",
-            Init::Uniform(0.1).build(view.num_nodes(), self.cfg.dim, &mut rng),
-        );
-        let mut w1 = Vec::new();
-        let mut w2 = Vec::new();
-        for l in 0..self.cfg.layers {
-            w1.push(params.add(
-                format!("w1[{l}]"),
-                Init::XavierUniform.build(self.cfg.dim, self.cfg.dim, &mut rng),
-            ));
-            w2.push(params.add(
-                format!("w2[{l}]"),
-                Init::XavierUniform.build(self.cfg.dim, self.cfg.dim, &mut rng),
-            ));
-        }
-        let adj = g.unified_adj(true, true).sym_normalized();
-        let adj_t = Rc::new(adj.transpose());
-        let st = State {
-            emb,
-            w1,
-            w2,
-            adj: Rc::new(adj),
-            adj_t,
-            user_rows: Rc::new((0..g.num_users()).map(|u| view.user(u)).collect()),
-            item_rows: Rc::new((0..g.num_items()).map(|v| view.item(v)).collect()),
-        };
+        let (mut params, st) = build_state(self.variant, &self.cfg, data, seed);
 
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
@@ -181,6 +195,23 @@ macro_rules! cf_public_wrapper {
             /// Final `(user, item)` embeddings (after `fit`).
             pub fn embeddings(&self) -> (&Matrix, &Matrix) {
                 self.0.embeddings()
+            }
+
+            /// Records one full training step (forward pass + BPR loss over
+            /// `triples`) onto `rec` without training — the static-analysis
+            /// entry point. Returns the registered parameters and the loss
+            /// variable; the graph is identical to what `fit` differentiates.
+            pub fn trace_step<R: Recorder>(
+                cfg: &BaselineConfig,
+                data: &Dataset,
+                triples: &[Triple],
+                seed: u64,
+                rec: &mut R,
+            ) -> (ParamSet, Var) {
+                let (params, st) = build_state($variant, cfg, data, seed);
+                let (users, items) = forward(&st, $variant, cfg.layers, rec, &params);
+                let loss = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));
+                (params, loss)
             }
         }
 

@@ -7,7 +7,7 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{Adam, ParamId, ParamSet, Tape, Var};
+use dgnn_autograd::{Adam, ParamId, ParamSet, Recorder, Tape, Var};
 use dgnn_data::{Dataset, TrainSampler};
 use dgnn_eval::{Recommender, Trainable};
 use dgnn_tensor::Init;

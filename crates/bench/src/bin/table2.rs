@@ -32,7 +32,7 @@ fn main() {
         let dgnn = results
             .iter()
             .find(|r| r.model == "DGNN" && r.dataset == ds.name)
-            .expect("DGNN cell");
+            .expect("every dataset has a DGNN row");
         println!("{}:", ds.name);
         for r in results.iter().filter(|r| r.dataset == ds.name && r.model != "DGNN") {
             println!(

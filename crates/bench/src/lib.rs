@@ -87,6 +87,8 @@ pub fn cutoff_index(n: usize) -> usize {
     dgnn_eval::TOP_NS
         .iter()
         .position(|&x| x == n)
+        // PANICS: the cutoff set is a compile-time constant; any other
+        // value is a caller bug worth failing loudly on.
         .unwrap_or_else(|| panic!("unsupported cutoff {n}; use 5, 10, or 20"))
 }
 
@@ -98,7 +100,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     let mut f = fs::File::create(&path).expect("create csv");
     writeln!(f, "{header}").expect("write header");
     for row in rows {
-        writeln!(f, "{row}").expect("write row");
+        writeln!(f, "{row}").expect("write csv row");
     }
     path
 }
@@ -129,6 +131,8 @@ pub fn print_metric_table(title: &str, results: &[CellResult], n: usize) {
             let cell = results
                 .iter()
                 .find(|r| &r.model == m && &r.dataset == d)
+                // PANICS: the grid is fully populated by construction; a
+                // hole means the harness itself is broken.
                 .unwrap_or_else(|| panic!("missing cell {m}/{d}"));
             print!(
                 "  {:>14.4}  {:>14.4}",

@@ -2,8 +2,8 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{Adam, Optimizer, ParamId, ParamSet, Tape, Var};
-use dgnn_data::{Dataset, TrainSampler};
+use dgnn_autograd::{Adam, Optimizer, ParamId, ParamSet, Recorder, Tape, Var};
+use dgnn_data::{Dataset, TrainSampler, Triple};
 use dgnn_eval::{Recommender, Trainable};
 use dgnn_graph::HeteroGraph;
 use dgnn_tensor::{Csr, CsrBuilder, Init, Matrix};
@@ -96,8 +96,12 @@ struct Handles {
     e_item: ParamId,
     e_rel: ParamId,
     banks: Vec<Bank>,
-    /// Indexed `layer * 3 + node_type` (0=user, 1=item, 2=rel).
+    /// Indexed `layer * 2 + node_type` (0=user, 1=item).
     ln: Vec<LnAffine>,
+    /// One per layer that updates relation nodes (the final layer never
+    /// does: relation embeddings only feed the *next* layer's item
+    /// aggregation, so its update would be dead compute).
+    ln_rel: Vec<LnAffine>,
     adj: Adjacencies,
     num_rels: usize,
 }
@@ -186,6 +190,8 @@ impl Dgnn {
         match kind {
             MemoryBankKind::SocialToUser => &self.attn_social,
             MemoryBankKind::UserToItem => &self.attn_interaction,
+            // PANICS: item-side banks are never dumped; asking for one is a
+            // caller bug, not a recoverable state.
             other => panic!("memory_attention: only user-side banks are dumped, got {other:?}"),
         }
     }
@@ -219,20 +225,7 @@ impl Dgnn {
             for _ in 0..batches_per_epoch {
                 let triples = sampler.batch(&mut rng, loop_cfg.batch_size);
                 let mut tape = Tape::new();
-                let handles = self.handles.as_ref().expect("init_params sets handles");
-                let fwd = forward(&mut tape, &self.params, handles, &self.cfg);
-                let users: Rc<Vec<usize>> =
-                    Rc::new(triples.iter().map(|t| t.user as usize).collect());
-                let pos: Rc<Vec<usize>> =
-                    Rc::new(triples.iter().map(|t| t.pos as usize).collect());
-                let neg: Rc<Vec<usize>> =
-                    Rc::new(triples.iter().map(|t| t.neg as usize).collect());
-                let ue = tape.gather(fwd.user_scoring, users);
-                let pe = tape.gather(fwd.item_final, pos);
-                let ne = tape.gather(fwd.item_final, neg);
-                let ps = tape.row_dots(ue, pe);
-                let ns = tape.row_dots(ue, ne);
-                let loss = tape.bpr_loss(ps, ns);
+                let loss = self.record_step(&mut tape, &triples);
                 self.params.zero_grads();
                 epoch_loss += tape.backward_into(loss, &mut self.params);
                 self.params.clip_grad_norm(loop_cfg.grad_clip);
@@ -246,6 +239,47 @@ impl Dgnn {
         if loop_cfg.epochs == 0 {
             self.finalize();
         }
+    }
+
+    /// Registers parameters and builds the adjacency bundle without
+    /// running any training step.
+    ///
+    /// This is the entry point for static analysis: after `prepare`, the
+    /// model can [`Dgnn::record_step`] onto *any* [`Recorder`] — a
+    /// [`Tape`] for real training, or an abstract tracer that verifies the
+    /// compute graph before the first gradient is ever computed.
+    pub fn prepare(&mut self, g: &HeteroGraph, seed: u64) {
+        self.init_params(g, seed);
+    }
+
+    /// The model's parameter set (registered by [`Dgnn::prepare`] /
+    /// [`Trainable::fit`]).
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Records one full training step — forward pass plus BPR loss over
+    /// `triples` — onto `rec` and returns the loss variable.
+    ///
+    /// Exactly this graph is what [`Trainable::fit`] differentiates each
+    /// step, so auditing it covers the trained model, not a replica.
+    ///
+    /// # Panics
+    /// Panics if called before [`Dgnn::prepare`] (or `fit`).
+    pub fn record_step<R: Recorder>(&self, rec: &mut R, triples: &[Triple]) -> Var {
+        // PANICS: construction order is enforced by the public API — both
+        // callers run prepare/init_params first.
+        let handles = self.handles.as_ref().expect("record_step before prepare");
+        let fwd = forward(rec, &self.params, handles, &self.cfg);
+        let users: Rc<Vec<usize>> = Rc::new(triples.iter().map(|t| t.user as usize).collect());
+        let pos: Rc<Vec<usize>> = Rc::new(triples.iter().map(|t| t.pos as usize).collect());
+        let neg: Rc<Vec<usize>> = Rc::new(triples.iter().map(|t| t.neg as usize).collect());
+        let ue = rec.gather(fwd.user_scoring, users);
+        let pe = rec.gather(fwd.item_final, pos);
+        let ne = rec.gather(fwd.item_final, neg);
+        let ps = rec.row_dots(ue, pe);
+        let ns = rec.row_dots(ue, ne);
+        rec.bpr_loss(ps, ns)
     }
 
     fn init_params(&mut self, g: &HeteroGraph, seed: u64) {
@@ -292,18 +326,28 @@ impl Dgnn {
             banks.push(Bank { w1, w2, bias });
         }
 
+        let has_knowledge = cfg.use_knowledge && g.num_relations() > 0;
         let mut ln = Vec::new();
+        let mut ln_rel = Vec::new();
         for layer in 0..cfg.layers {
-            for ty in ["user", "item", "rel"] {
+            for ty in ["user", "item"] {
                 let scale = params.add(format!("ln/{ty}/{layer}/scale"), Matrix::full(1, d, 1.0));
                 let bias = params.add(format!("ln/{ty}/{layer}/bias"), Matrix::zeros(1, d));
                 ln.push(LnAffine { scale, bias });
+            }
+            // The final layer never updates relation nodes (their only
+            // consumer is the next layer's item aggregation), so its
+            // affine would be a parameter with no gradient path.
+            if has_knowledge && layer + 1 < cfg.layers {
+                let scale = params.add(format!("ln/rel/{layer}/scale"), Matrix::full(1, d, 1.0));
+                let bias = params.add(format!("ln/rel/{layer}/bias"), Matrix::zeros(1, d));
+                ln_rel.push(LnAffine { scale, bias });
             }
         }
 
         let adj = build_adjacencies(g, cfg);
         self.handles =
-            Some(Handles { e_user, e_item, e_rel, banks, ln, adj, num_rels: g.num_relations() });
+            Some(Handles { e_user, e_item, e_rel, banks, ln, ln_rel, adj, num_rels: g.num_relations() });
         self.params = params;
     }
 
@@ -354,8 +398,8 @@ struct Forward {
 /// Memory-augmented encoding of a node family's features (Eq. 3): returns
 /// `(Σ_m η_m ⊙ (H·W¹_m), η)`. With `use_memory` off (`-M` ablation) the
 /// encoding collapses to the single transform `H·W¹_0` and η is uniform.
-fn encode(
-    tape: &mut Tape,
+fn encode<R: Recorder>(
+    tape: &mut R,
     params: &ParamSet,
     bank: &Bank,
     h: Var,
@@ -388,8 +432,8 @@ fn encode(
 
 /// Eq. 7: LayerNorm (with learned affine ω₁/ω₂) + activation + encoded
 /// self-propagation.
-fn layer_update(
-    tape: &mut Tape,
+fn layer_update<R: Recorder>(
+    tape: &mut R,
     params: &ParamSet,
     cfg: &DgnnConfig,
     agg: Var,
@@ -412,7 +456,7 @@ fn layer_update(
 }
 
 /// Full DGNN forward pass (Alg. 1 lines 4–19).
-fn forward(tape: &mut Tape, params: &ParamSet, h: &Handles, cfg: &DgnnConfig) -> Forward {
+fn forward<R: Recorder>(tape: &mut R, params: &ParamSet, h: &Handles, cfg: &DgnnConfig) -> Forward {
     let bank = |k: MemoryBankKind| &h.banks[k.index()];
     let has_knowledge = cfg.use_knowledge && h.num_rels > 0;
 
@@ -457,7 +501,10 @@ fn forward(tape: &mut Tape, params: &ParamSet, h: &Handles, cfg: &DgnnConfig) ->
         };
 
         // -- relation-node aggregation (Eq. 6) ------------------------------
-        let agg_r = if has_knowledge {
+        // Updated relation embeddings are only read by the *next* layer's
+        // item aggregation; at the final layer the update would be dead
+        // compute (and its LN affine a gradient-free parameter), so skip it.
+        let agg_r = if has_knowledge && layer + 1 < cfg.layers {
             let (msg_item_to_rel, _) =
                 encode(tape, params, bank(MemoryBankKind::ItemToRel), hv, cfg);
             Some(tape.spmm_with(&h.adj.rv, &h.adj.rv_t, msg_item_to_rel))
@@ -466,7 +513,7 @@ fn forward(tape: &mut Tape, params: &ParamSet, h: &Handles, cfg: &DgnnConfig) ->
         };
 
         // -- Eq. 7 per node type --------------------------------------------
-        let ln_base = layer * 3;
+        let ln_base = layer * 2;
         hu = layer_update(
             tape,
             params,
@@ -493,7 +540,7 @@ fn forward(tape: &mut Tape, params: &ParamSet, h: &Handles, cfg: &DgnnConfig) ->
                 agg_r,
                 hr,
                 bank(MemoryBankKind::SelfRel),
-                &h.ln[ln_base + 2],
+                &h.ln_rel[layer],
             );
         }
 

@@ -11,7 +11,7 @@
 //! usable even before any behavioral data exists — the cold-start setting
 //! the paper motivates.
 
-use dgnn_autograd::{Adam, Optimizer, ParamSet, Tape};
+use dgnn_autograd::{Adam, Optimizer, ParamSet, Recorder, Tape};
 use dgnn_graph::HeteroGraph;
 use dgnn_tensor::{Init, Matrix};
 use rand::rngs::StdRng;

@@ -2,7 +2,7 @@
 //! in the reproduction so cross-model timing comparisons (Table IV) measure
 //! the models, not the harness.
 
-use dgnn_autograd::{Adam, Optimizer, ParamSet, Tape, Var};
+use dgnn_autograd::{Adam, Optimizer, ParamSet, Recorder, Tape, Var};
 use dgnn_data::{TrainSampler, Triple};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

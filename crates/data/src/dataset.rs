@@ -78,7 +78,11 @@ impl Dataset {
         let mut test = Vec::new();
         for it in full.interactions() {
             let u = it.user as usize;
-            let held_out = history[u] > min_history && latest[u] == Some(*it);
+            // Match on the item, not the exact record: a duplicate
+            // (user, item) pair at an earlier timestamp would otherwise
+            // leak the held-out positive into the training graph.
+            let held_out = history[u] > min_history
+                && latest[u].is_some_and(|pos| it.item == pos.item);
             if !held_out {
                 builder.interaction(u, it.item as usize, it.time);
             }
@@ -167,6 +171,21 @@ mod tests {
         assert!(!ds.graph.items_of(0).contains(&2));
         assert!(ds.graph.items_of(0).contains(&0));
         assert_eq!(ds.num_train(), 4);
+    }
+
+    #[test]
+    fn duplicate_interactions_with_held_out_item_do_not_leak() {
+        let mut b = HeteroGraphBuilder::new(1, 20, 1);
+        // Item 4 is interacted twice; the t=9 copy becomes the test
+        // positive and the t=1 copy must not survive into training.
+        b.interaction(0, 4, 1).interaction(0, 3, 5).interaction(0, 4, 9);
+        let full = b.build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let ds = Dataset::leave_one_out("t", &full, 1, 10, &mut rng);
+        assert_eq!(ds.test.len(), 1);
+        assert_eq!(ds.test[0].pos_item, 4);
+        assert!(!ds.graph.items_of(0).contains(&4));
+        assert_eq!(ds.graph.items_of(0), &[3]);
     }
 
     #[test]

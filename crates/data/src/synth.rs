@@ -128,18 +128,25 @@ impl WorldSpec {
             let mut chosen = Vec::with_capacity(n);
             let mut t = 0u32;
             while chosen.len() < n {
-                let pool: Vec<usize> =
-                    (0..pool_size).map(|_| rng.gen_range(0..self.num_items)).collect();
+                // Restrict the pool to not-yet-chosen items: with a peaked
+                // softmax (large beta) rejection sampling over the full item
+                // set can need e^{beta·margin} draws per new item, which
+                // turns high-activity users into a near-infinite loop.
+                let pool: Vec<usize> = (0..pool_size)
+                    .map(|_| rng.gen_range(0..self.num_items))
+                    .filter(|v| !chosen.contains(v))
+                    .collect();
+                if pool.is_empty() {
+                    continue; // all draws were duplicates; redraw
+                }
                 let logits: Vec<f32> = pool
                     .iter()
                     .map(|&v| self.beta * dot(&user_factor[u], &item_factor[v]))
                     .collect();
                 let pick = pool[sample_softmax(rng, &logits)];
-                if !chosen.contains(&pick) {
-                    builder.interaction(u, pick, t);
-                    chosen.push(pick);
-                    t += 1;
-                }
+                builder.interaction(u, pick, t);
+                chosen.push(pick);
+                t += 1;
             }
         }
 

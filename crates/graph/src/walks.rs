@@ -58,6 +58,8 @@ impl HeteroGraph {
                 (MetaPathStep::RelToItem, crate::NodeType::Relation) => {
                     pick(rng, self.ri().row_cols(local)).map(|v| view.item(v))
                 }
+                // PANICS: a schema/node-kind mismatch means the meta-path
+                // definition itself is malformed — not recoverable at runtime.
                 _ => panic!(
                     "meta_path_walk: schema step {step:?} incompatible with node kind {kind:?}"
                 ),

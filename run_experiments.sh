@@ -4,6 +4,13 @@
 set -u
 cd "$(dirname "$0")"
 mkdir -p results/logs
+
+# Preflight: fail fast on graph/source problems before burning hours of
+# training compute (see crates/analysis).
+echo "=== preflight: static analysis ==="
+cargo run -q -p dgnn-analysis --bin lint . || exit 1
+cargo test -q -p dgnn-integration-tests --test ablation_shape static_analysis \
+    || { echo "compute-graph audit failed; aborting experiments"; exit 1; }
 BINS="table1 table2 table3 fig4 fig5 fig6 fig7 table4 fig8 fig9 fig10 ext_pretrain"
 for bin in $BINS; do
     echo "=== running $bin ==="

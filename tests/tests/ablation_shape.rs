@@ -61,3 +61,177 @@ fn attention_vectors_differ_between_banks() {
     let diff = social.sub(inter).sq_norm();
     assert!(diff > 1e-4, "banks collapsed to identical attention ({diff})");
 }
+
+// ---------------------------------------------------------------------------
+// Static analysis: the ShapeTracer abstract-interprets the *identical*
+// graph-building code the trainer runs (both go through `R: Recorder`), so
+// these checks hold for the real training step — and they run before a
+// single FLOP of training.
+// ---------------------------------------------------------------------------
+
+mod static_analysis {
+    use std::rc::Rc;
+
+    use dgnn_analysis::{audit, DiagnosticKind, ShapeTracer};
+    use dgnn_autograd::{ParamSet, Recorder};
+    use dgnn_baselines::{Dgcf, DisenHan, Mhcn, Ngcf};
+    use dgnn_core::Dgnn;
+    use dgnn_data::{tiny, Dataset, TrainSampler, Triple};
+    use dgnn_integration_tests::{quick_baseline, quick_dgnn};
+    use dgnn_tensor::{Init, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_triples(data: &Dataset) -> Vec<Triple> {
+        let sampler = TrainSampler::new(&data.graph);
+        sampler.batch(&mut StdRng::seed_from_u64(9), 64)
+    }
+
+    // --- positive: the paper's model and every traced baseline are clean ---
+
+    #[test]
+    fn dgnn_training_graph_audits_clean() {
+        let data = tiny(42);
+        let triples = sample_triples(&data);
+        let mut model = Dgnn::new(quick_dgnn());
+        model.prepare(&data.graph, 7);
+        let mut tr = ShapeTracer::new();
+        let loss = model.record_step(&mut tr, &triples);
+        let report = audit(&tr, loss, &[], model.params());
+        assert!(report.is_clean(), "DGNN training graph is not clean:\n{report}");
+        assert!(tr.num_nodes() > 50, "suspiciously small trace: {}", tr.num_nodes());
+    }
+
+    #[test]
+    fn traced_baselines_audit_clean() {
+        let data = tiny(42);
+        let triples = sample_triples(&data);
+        let checks: Vec<(&str, Box<dyn Fn(&mut ShapeTracer) -> (ParamSet, _)>)> = vec![
+            ("NGCF", Box::new(|tr: &mut ShapeTracer| {
+                Ngcf::trace_step(&quick_baseline(), &data, &triples, 7, tr)
+            })),
+            ("MHCN", Box::new(|tr: &mut ShapeTracer| {
+                Mhcn::trace_step(&quick_baseline(), &data, &triples, 7, tr)
+            })),
+            ("DGCF", Box::new(|tr: &mut ShapeTracer| {
+                Dgcf::trace_step(&quick_baseline(), &data, &triples, 7, tr)
+            })),
+            ("DisenHAN", Box::new(|tr: &mut ShapeTracer| {
+                DisenHan::trace_step(&quick_baseline(), &data, &triples, 7, tr)
+            })),
+        ];
+        for (name, trace) in checks {
+            let mut tr = ShapeTracer::new();
+            let (params, loss) = trace(&mut tr);
+            let report = audit(&tr, loss, &[], &params);
+            assert!(report.is_clean(), "{name} training graph is not clean:\n{report}");
+        }
+    }
+
+    // --- negative: every diagnostic class fires on a deliberately broken
+    //     graph, caught at trace time — before any training step ---
+
+    fn leaf(params: &mut ParamSet, name: &str, r: usize, c: usize) -> dgnn_autograd::ParamId {
+        params.add(name, Init::XavierUniform.build(r, c, &mut StdRng::seed_from_u64(1)))
+    }
+
+    #[test]
+    fn detects_shape_mismatch() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 5, 3); // wrong: x is n×4, w must be 4×d
+        let mut tr = ShapeTracer::new();
+        let x = tr.constant(Matrix::zeros(8, 4));
+        let wv = tr.param(&params, w);
+        let h = tr.matmul(x, wv);
+        let loss = tr.mean_all(h);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.has(DiagnosticKind::ShapeMismatch), "no mismatch reported:\n{report}");
+    }
+
+    #[test]
+    fn detects_index_range_violation() {
+        let mut params = ParamSet::new();
+        let emb = leaf(&mut params, "emb", 10, 4);
+        let mut tr = ShapeTracer::new();
+        let table = tr.param(&params, emb);
+        // Index 10 is one past the declared 10-row table.
+        let rows = tr.gather(table, Rc::new(vec![0, 3, 10]));
+        let loss = tr.mean_all(rows);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.has(DiagnosticKind::IndexRange), "no index violation reported:\n{report}");
+    }
+
+    #[test]
+    fn detects_unused_param() {
+        let mut params = ParamSet::new();
+        let used = leaf(&mut params, "used", 4, 4);
+        let _orphan = leaf(&mut params, "orphan", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let x = tr.constant(Matrix::zeros(4, 4));
+        let wv = tr.param(&params, used);
+        let h = tr.matmul(x, wv);
+        let loss = tr.mean_all(h);
+        let report = audit(&tr, loss, &[], &params);
+        assert_eq!(report.count(DiagnosticKind::UnusedParam), 1, "{report}");
+    }
+
+    #[test]
+    fn detects_dead_subgraph() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let x = tr.constant(Matrix::zeros(4, 4));
+        let wv = tr.param(&params, w);
+        let h = tr.matmul(x, wv);
+        // Recorded but never consumed: backward can never reach it.
+        let dead = tr.sigmoid(h);
+        let _ = dead;
+        let loss = tr.mean_all(h);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.has(DiagnosticKind::DeadSubgraph), "no dead subgraph reported:\n{report}");
+    }
+
+    #[test]
+    fn detects_unstable_exp() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "logits", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        // exp of a raw parameter: overflows once the logits drift.
+        let e = tr.exp(wv);
+        let loss = tr.mean_all(e);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.has(DiagnosticKind::UnstableExp), "no stability hazard reported:\n{report}");
+    }
+
+    #[test]
+    fn bounded_exp_is_accepted() {
+        // The fix for the case above: squash before exponentiating.
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "logits", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        let t = tr.tanh(wv);
+        let e = tr.exp(t);
+        let loss = tr.mean_all(e);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.is_clean(), "bounded exp should be clean:\n{report}");
+    }
+
+    #[test]
+    fn declared_outputs_are_not_dead() {
+        // Embeddings cached for inference are legitimate non-loss roots.
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let x = tr.constant(Matrix::zeros(4, 4));
+        let wv = tr.param(&params, w);
+        let h = tr.matmul(x, wv);
+        let cached = tr.l2_normalize_rows(h, 1e-9);
+        let loss = tr.mean_all(h);
+        let with_decl = audit(&tr, loss, &[cached], &params);
+        assert!(with_decl.is_clean(), "declared output flagged:\n{with_decl}");
+        let without = audit(&tr, loss, &[], &params);
+        assert!(without.has(DiagnosticKind::DeadSubgraph), "undeclared sink not flagged");
+    }
+}

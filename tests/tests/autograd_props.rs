@@ -4,7 +4,7 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{ParamSet, Tape, Var};
+use dgnn_autograd::{ParamSet, Recorder, Tape, Var};
 use dgnn_tensor::Matrix;
 use proptest::prelude::*;
 

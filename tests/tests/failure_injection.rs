@@ -5,7 +5,7 @@
 use dgnn_baselines::all_models;
 use dgnn_core::Dgnn;
 use dgnn_data::{Dataset, TrainSampler};
-use dgnn_eval::{evaluate_at, Trainable};
+use dgnn_eval::{evaluate_at, Recommender, Trainable};
 use dgnn_graph::HeteroGraphBuilder;
 use dgnn_integration_tests::{quick_baseline, quick_dgnn};
 use rand::rngs::StdRng;

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset this workspace's `[[bench]]` targets use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::{benchmark_group,
+//! bench_function}`, `BenchmarkGroup::{bench_function, bench_with_input,
+//! finish}`, `BenchmarkId`, and `Bencher::iter` — with a simple
+//! warmup-then-measure timer instead of criterion's statistical engine.
+//! Results print as `name ... median <time> (<iters> iters)`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which some benches import directly).
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on timed iterations.
+const MAX_ITERS: u32 = 1_000_000;
+
+/// Runs one benchmark body repeatedly and reports the per-iteration time.
+pub struct Bencher {
+    median_ns: f64,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self { median_ns: 0.0, iters: 0 }
+    }
+
+    /// Times `f`: one warmup call, then as many calls as fit in the target
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup + result sink
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while start.elapsed() < TARGET && iters < MAX_ITERS {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.median_ns = start.elapsed().as_nanos() as f64 / f64::from(self.iters);
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.median_ns;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    println!("{name:<50} {human:>12}  ({} iters)", b.iters);
+}
+
+/// Identifier for a parameterized benchmark (`<name>/<parameter>`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { full: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, prefix: name.into() }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&name.to_string(), &b);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.prefix, id), &b);
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.prefix, id), &b);
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
