@@ -38,6 +38,24 @@ impl AuditReport {
     pub fn has(&self, kind: DiagnosticKind) -> bool {
         self.diags.iter().any(|d| d.kind == kind)
     }
+
+    /// Machine-readable report: `{"clean":…,"findings":[{kind,node,op,message}…]}`.
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self
+            .diags
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"kind\":{},\"node\":{},\"op\":{},\"message\":{}}}",
+                    crate::json::string(d.kind.as_str()),
+                    d.node.map_or_else(|| "null".to_string(), |n| n.to_string()),
+                    d.op.map_or_else(|| "null".to_string(), crate::json::string),
+                    crate::json::string(&d.message),
+                )
+            })
+            .collect();
+        format!("{{\"clean\":{},\"findings\":[{}]}}", self.is_clean(), findings.join(","))
+    }
 }
 
 impl std::fmt::Display for AuditReport {
@@ -152,4 +170,48 @@ pub fn audit(
     }
 
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use dgnn_autograd::{ParamSet, Recorder};
+    use dgnn_tensor::{Init, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn to_json_reports_findings_structurally() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = params.add("x", Init::Uniform(0.5).build(3, 3, &mut rng));
+        let unused = params.add("unused", Matrix::zeros(2, 2));
+        let _ = unused;
+
+        let mut tr = ShapeTracer::new();
+        let x = tr.param(&params, x);
+        let e = tr.exp(x); // unbounded input → unstable_domain
+        let loss = tr.mean_all(e);
+
+        let report = audit(&tr, loss, &[], &params);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"clean\":false,"), "json: {json}");
+        assert!(json.contains("\"kind\":\"unstable_domain\""), "json: {json}");
+        assert!(json.contains("\"kind\":\"unused_param\""), "json: {json}");
+        assert!(json.contains("\"op\":\"exp\""), "json: {json}");
+    }
+
+    #[test]
+    fn clean_graph_serializes_clean() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = params.add("x", Init::Uniform(0.5).build(3, 3, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let x = tr.param(&params, x);
+        let s = tr.sigmoid(x);
+        let loss = tr.mean_all(s);
+        let report = audit(&tr, loss, &[], &params);
+        assert_eq!(report.to_json(), "{\"clean\":true,\"findings\":[]}");
+    }
 }

@@ -7,10 +7,16 @@
 //!    `// INVARIANT:` / `// PANICS:` comment;
 //! 3. `panic!` needs a nearby `// PANICS:` comment;
 //! 4. `unsafe` needs a nearby `// SAFETY:` comment;
-//! 5. a workspace-wide TODO/FIXME budget.
+//! 5. a workspace-wide TODO/FIXME budget;
+//! 6. `.clone()` inside the planned tape executor (`autograd/src/tape.rs`)
+//!    needs a nearby `// PLAN:` comment justifying why the copy cannot be
+//!    recycled through the memory plan.
 //!
-//! Run with `cargo run -p dgnn-analysis --bin lint [workspace-root]`.
-//! Exits non-zero when any rule fires, so `ci.sh` can gate on it.
+//! `target/` and `third_party/` directories are never scanned.
+//!
+//! Run with `cargo run -p dgnn-analysis --bin lint [--json] [workspace-root]`.
+//! `--json` prints one machine-readable report object instead of plain
+//! lines. Exits non-zero when any rule fires, so `ci.sh` can gate on it.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -38,6 +44,7 @@ struct Needles {
     panic: String,
     todo: String,
     fixme: String,
+    clone: String,
 }
 
 impl Needles {
@@ -48,12 +55,21 @@ impl Needles {
             panic: format!("pan{}!", "ic"),
             todo: format!("TO{}", "DO"),
             fixme: format!("FIX{}", "ME"),
+            clone: format!(".clo{}(", "ne"),
         }
     }
 }
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut json = false;
+    let mut root = ".".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root = arg;
+        }
+    }
     let crates_dir = Path::new(&root).join("crates");
     let mut files = Vec::new();
     collect_rs_files(&crates_dir, &mut files);
@@ -88,6 +104,28 @@ fn main() -> ExitCode {
         });
     }
 
+    if json {
+        let items: Vec<String> = violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"file\":{},\"line\":{},\"rule\":{},\"detail\":{}}}",
+                    dgnn_analysis::json::string(&v.file.display().to_string()),
+                    v.line,
+                    dgnn_analysis::json::string(v.rule),
+                    dgnn_analysis::json::string(&v.detail),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"clean\":{},\"files\":{},\"todo_count\":{},\"violations\":[{}]}}",
+            violations.is_empty(),
+            files.len(),
+            todo_count,
+            items.join(","),
+        );
+        return if violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
     if violations.is_empty() {
         println!(
             "lint: {} files clean ({} TODO/FIXME within budget {})",
@@ -122,8 +160,12 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
         let path = entry.path();
         if path.is_dir() {
             // Only library/binary sources: crates/<name>/src/**; skip each
-            // crate's tests/ and benches/ trees where panics are idiomatic.
+            // crate's tests/ and benches/ trees where panics are idiomatic,
+            // plus build artifacts and vendored code.
             let name = entry.file_name();
+            if name == "target" || name == "third_party" {
+                continue;
+            }
             if dir.ends_with("crates") || name == "src" || under_src(&path) {
                 collect_rs_files(&path, out);
             }
@@ -220,6 +262,9 @@ fn lint_file(
     todo_count: &mut usize,
 ) {
     let lines: Vec<&str> = text.lines().collect();
+    // Rule 6 applies only inside the planned tape executor, where every
+    // matrix copy is a hole in the memory plan unless justified.
+    let plan_clone_scope = file.ends_with(Path::new("autograd/src/tape.rs"));
     // Track `#[cfg(test)]`-gated regions by brace depth: everything between
     // the attribute's following `{` and its matching `}` is test code where
     // unwrap/expect/panic are idiomatic.
@@ -286,6 +331,19 @@ fn lint_file(
                 rule: "panic-doc",
                 detail: "panic! without a nearby // PANICS: comment explaining why \
                          the condition is unreachable or fatal"
+                    .to_string(),
+            });
+        }
+        if plan_clone_scope
+            && code.contains(needles.clone.as_str())
+            && !has_marker(&lines, i, "PLAN:")
+        {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "plan-clone",
+                detail: "matrix clone in the planned tape executor without a nearby \
+                         // PLAN: comment justifying why the copy cannot be recycled"
                     .to_string(),
             });
         }

@@ -1,0 +1,39 @@
+//! Minimal std-only JSON emission for `--json` report modes.
+//!
+//! The workspace is dependency-free, so reports are serialized by hand.
+//! These helpers keep the escaping rules in one place; emitters build
+//! objects/arrays with plain `format!` around them.
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("plain"), "\"plain\"");
+    }
+}

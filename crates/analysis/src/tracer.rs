@@ -4,10 +4,11 @@
 //! The tracer implements [`Recorder`], so any model written against
 //! `R: Recorder` — DGNN itself and the traced baselines — can be "run"
 //! without allocating a single output tensor: each op records only its
-//! output shape, a boundedness bit, its input edges, and a static op name.
-//! Structural problems (shape mismatches, out-of-range gather indices,
-//! non-covering segment pointers, `exp` of unbounded inputs) surface as
-//! [`Diagnostic`]s at trace time, *before* any training step executes.
+//! output shape, a boundedness bit, an abstract lower bound, its input
+//! edges, and a static op name. Structural problems (shape mismatches,
+//! out-of-range gather indices, non-covering segment pointers, `exp` of
+//! unbounded inputs, `ln`/`div`/`sqrt` outside their safe domain) surface
+//! as [`Diagnostic`]s at trace time, *before* any training step executes.
 
 use std::rc::Rc;
 
@@ -27,9 +28,41 @@ pub enum DiagnosticKind {
     /// A recorded node that is reachable from neither the loss nor any
     /// declared output — compute that `backward` can never see.
     DeadSubgraph,
-    /// `exp` applied to an input with no bounding op between it and a
-    /// parameter/leaf: overflows to `inf` once logits drift.
-    UnstableExp,
+    /// An op fed a value outside its numerically safe domain: `exp` of an
+    /// unbounded input (overflow), or `ln`/`div`/`sqrt` of a value not
+    /// provably bounded away from zero / non-negative (−∞, ±∞, NaN).
+    UnstableDomain,
+}
+
+impl DiagnosticKind {
+    /// Stable machine-readable name (used by the `--json` report mode).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::ShapeMismatch => "shape_mismatch",
+            Self::IndexRange => "index_range",
+            Self::UnusedParam => "unused_param",
+            Self::DeadSubgraph => "dead_subgraph",
+            Self::UnstableDomain => "unstable_domain",
+        }
+    }
+}
+
+/// Abstract lower bound of a traced value, ordered by strength.
+///
+/// The domain is deliberately `f32`-sound: `sigmoid`, `softmax`, `exp` and
+/// `softplus` map to [`Lower::NonNeg`], *not* [`Lower::Positive`], because
+/// their mathematical positivity underflows to an exact `0.0` for extreme
+/// inputs. The only blessed route to `Positive` is adding a positive
+/// constant — the `ln(x + ε)` idiom — or starting from a positive constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Lower {
+    /// May be negative (or NaN).
+    Unknown,
+    /// Provably `≥ 0`, but `0.0` itself is reachable (including by
+    /// floating-point underflow of mathematically positive values).
+    NonNeg,
+    /// Provably bounded away from zero.
+    Positive,
 }
 
 /// One structured finding about a traced compute graph.
@@ -67,6 +100,8 @@ pub(crate) struct TraceNode {
     /// and compositions of bounded inputs). Leaves: constants are bounded
     /// (they never change), parameters are not.
     pub bounded: bool,
+    /// Abstract lower bound of the output (the `ln`/`div`/`sqrt` domain).
+    pub lower: Lower,
 }
 
 /// Abstract interpreter over the shape domain; the second [`Recorder`]
@@ -115,12 +150,26 @@ impl ShapeTracer {
         bounded: bool,
         param: Option<ParamId>,
     ) -> Var {
+        self.push_with(op, shape, inputs, bounded, param, Lower::Unknown)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_with(
+        &mut self,
+        op: &'static str,
+        shape: (usize, usize),
+        inputs: &[Var],
+        bounded: bool,
+        param: Option<ParamId>,
+        lower: Lower,
+    ) -> Var {
         self.nodes.push(TraceNode {
             op,
             shape,
             inputs: inputs.iter().map(|v| v.index()).collect(),
             param,
             bounded,
+            lower,
         });
         Var::from_index(self.nodes.len() - 1)
     }
@@ -138,6 +187,27 @@ impl ShapeTracer {
         self.nodes[v.index()].bounded
     }
 
+    fn lower_of(&self, v: Var) -> Lower {
+        self.nodes[v.index()].lower
+    }
+
+    /// `NonNeg` when both operands are provably non-negative (products and
+    /// sums of non-negatives stay non-negative, but `Positive` is *not*
+    /// preserved: `f32` products/quotients of positives can underflow to 0).
+    fn nonneg_if_both(&self, a: Var, b: Var) -> Lower {
+        if self.lower_of(a) >= Lower::NonNeg && self.lower_of(b) >= Lower::NonNeg {
+            Lower::NonNeg
+        } else {
+            Lower::Unknown
+        }
+    }
+
+    /// Reductions (sums/means) of non-negative inputs stay non-negative;
+    /// positivity does not survive (an all-zero row is reachable).
+    fn nonneg_reduce(&self, a: Var) -> Lower {
+        if self.lower_of(a) >= Lower::NonNeg { Lower::NonNeg } else { Lower::Unknown }
+    }
+
     /// Checks an elementwise binary op's operands for equal shapes.
     fn require_same(&mut self, op: &'static str, a: Var, b: Var) {
         let (sa, sb) = (self.shape_of(a), self.shape_of(b));
@@ -151,17 +221,17 @@ impl ShapeTracer {
     }
 
     /// Unary shape-preserving op helper.
-    fn unary(&mut self, op: &'static str, a: Var, bounded: bool) -> Var {
+    fn unary(&mut self, op: &'static str, a: Var, bounded: bool, lower: Lower) -> Var {
         let shape = self.shape_of(a);
-        self.push(op, shape, &[a], bounded, None)
+        self.push_with(op, shape, &[a], bounded, None, lower)
     }
 
     /// Binary elementwise op helper (requires equal shapes).
-    fn binary(&mut self, op: &'static str, a: Var, b: Var) -> Var {
+    fn binary(&mut self, op: &'static str, a: Var, b: Var, lower: Lower) -> Var {
         self.require_same(op, a, b);
         let shape = self.shape_of(a);
         let bounded = self.bounded_of(a) && self.bounded_of(b);
-        self.push(op, shape, &[a, b], bounded, None)
+        self.push_with(op, shape, &[a, b], bounded, None, lower)
     }
 
     /// Validates a CSR-style segment pointer against an edge count.
@@ -191,8 +261,16 @@ impl ShapeTracer {
 
 impl Recorder for ShapeTracer {
     fn constant(&mut self, value: Matrix) -> Var {
-        // Constants never change during training, so they are bounded.
-        self.push("constant", value.shape(), &[], true, None)
+        // Constants never change during training, so they are bounded, and
+        // their lower bound can be read straight off the data.
+        let lower = if value.as_slice().iter().all(|&x| x > 0.0) {
+            Lower::Positive
+        } else if value.as_slice().iter().all(|&x| x >= 0.0) {
+            Lower::NonNeg
+        } else {
+            Lower::Unknown
+        };
+        self.push_with("constant", value.shape(), &[], true, None, lower)
     }
 
     fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
@@ -205,30 +283,59 @@ impl Recorder for ShapeTracer {
     }
 
     fn add(&mut self, a: Var, b: Var) -> Var {
-        self.binary("add", a, b)
+        // For non-negative operands the f32 sum rounds to ≥ max(a, b), so
+        // the stronger of the two bounds survives (overflow goes to +inf,
+        // which is still positive).
+        let lower = if self.lower_of(a) >= Lower::NonNeg && self.lower_of(b) >= Lower::NonNeg {
+            self.lower_of(a).max(self.lower_of(b))
+        } else {
+            Lower::Unknown
+        };
+        self.binary("add", a, b, lower)
     }
 
     fn sub(&mut self, a: Var, b: Var) -> Var {
-        self.binary("sub", a, b)
+        self.binary("sub", a, b, Lower::Unknown)
     }
 
     fn mul(&mut self, a: Var, b: Var) -> Var {
-        self.binary("mul", a, b)
+        // A square x ⊙ x is non-negative for every real input (the analysis,
+        // like the rest of this crate, assumes values have not already
+        // diverged to NaN).
+        let lower = if a == b { Lower::NonNeg } else { self.nonneg_if_both(a, b) };
+        self.binary("mul", a, b, lower)
     }
 
     fn neg(&mut self, a: Var) -> Var {
         let bounded = self.bounded_of(a);
-        self.unary("neg", a, bounded)
+        self.unary("neg", a, bounded, Lower::Unknown)
     }
 
-    fn scale(&mut self, a: Var, _k: f32) -> Var {
+    fn scale(&mut self, a: Var, k: f32) -> Var {
         let bounded = self.bounded_of(a);
-        self.unary("scale", a, bounded)
+        // k > 0 preserves non-negativity but not positivity (k·x can
+        // underflow to 0); k == 0 yields exact zeros.
+        let lower = if (k > 0.0 && self.lower_of(a) >= Lower::NonNeg) || k == 0.0 {
+            Lower::NonNeg
+        } else {
+            Lower::Unknown
+        };
+        self.unary("scale", a, bounded, lower)
     }
 
-    fn add_scalar(&mut self, a: Var, _k: f32) -> Var {
+    fn add_scalar(&mut self, a: Var, k: f32) -> Var {
         let bounded = self.bounded_of(a);
-        self.unary("add_scalar", a, bounded)
+        // The blessed route to `Positive`: x ≥ 0 plus a positive constant k
+        // rounds to ≥ max(x, k) ≥ k > 0 in f32 — this is the `ln(x + ε)`
+        // idiom the domain checker wants to see.
+        let lower = if k > 0.0 && self.lower_of(a) >= Lower::NonNeg {
+            Lower::Positive
+        } else if k == 0.0 {
+            self.lower_of(a)
+        } else {
+            Lower::Unknown
+        };
+        self.unary("add_scalar", a, bounded, lower)
     }
 
     fn matmul(&mut self, a: Var, b: Var) -> Var {
@@ -241,13 +348,15 @@ impl Recorder for ShapeTracer {
             );
         }
         let bounded = self.bounded_of(a) && self.bounded_of(b);
-        self.push("matmul", (sa.0, sb.1), &[a, b], bounded, None)
+        let lower = self.nonneg_if_both(a, b);
+        self.push_with("matmul", (sa.0, sb.1), &[a, b], bounded, None, lower)
     }
 
     fn transpose(&mut self, a: Var) -> Var {
         let (r, c) = self.shape_of(a);
         let bounded = self.bounded_of(a);
-        self.push("transpose", (c, r), &[a], bounded, None)
+        let lower = self.lower_of(a);
+        self.push_with("transpose", (c, r), &[a], bounded, None, lower)
     }
 
     fn spmm_with(&mut self, adj: &Rc<Csr>, adj_t: &Rc<Csr>, b: Var) -> Var {
@@ -278,42 +387,107 @@ impl Recorder for ShapeTracer {
     }
 
     fn sigmoid(&mut self, a: Var) -> Var {
-        self.unary("sigmoid", a, true)
+        // Mathematically positive, but σ(x) underflows to exact 0.0 for
+        // x ≲ −90, so only NonNeg is f32-sound.
+        self.unary("sigmoid", a, true, Lower::NonNeg)
     }
 
     fn tanh(&mut self, a: Var) -> Var {
-        self.unary("tanh", a, true)
+        self.unary("tanh", a, true, Lower::Unknown)
     }
 
     fn leaky_relu(&mut self, a: Var, _alpha: f32) -> Var {
         let bounded = self.bounded_of(a);
-        self.unary("leaky_relu", a, bounded)
+        // Identity on non-negative inputs, so a known bound passes through.
+        let lower =
+            if self.lower_of(a) >= Lower::NonNeg { self.lower_of(a) } else { Lower::Unknown };
+        self.unary("leaky_relu", a, bounded, lower)
     }
 
     fn relu(&mut self, a: Var) -> Var {
         let bounded = self.bounded_of(a);
-        self.unary("relu", a, bounded)
+        self.unary("relu", a, bounded, Lower::NonNeg)
     }
 
     fn exp(&mut self, a: Var) -> Var {
         let bounded = self.bounded_of(a);
         if !bounded {
             self.diag(
-                DiagnosticKind::UnstableExp,
+                DiagnosticKind::UnstableDomain,
                 "exp",
                 "exp of an unbounded input: overflows to inf once logits drift; \
                  bound the input (sigmoid/tanh/softmax/normalize) or use softplus"
                     .to_string(),
             );
         }
-        self.unary("exp", a, bounded)
+        // e^x underflows to exact 0.0 below x ≈ −103: NonNeg, not Positive.
+        self.unary("exp", a, bounded, Lower::NonNeg)
     }
 
     fn softplus(&mut self, a: Var) -> Var {
         // Tape's softplus forward is the numerically stable
         // `max(x, 0) + ln(1 + e^{-|x|})`, so no stability diagnostic here.
         let bounded = self.bounded_of(a);
-        self.unary("softplus", a, bounded)
+        self.unary("softplus", a, bounded, Lower::NonNeg)
+    }
+
+    fn ln(&mut self, a: Var) -> Var {
+        if self.lower_of(a) != Lower::Positive {
+            self.diag(
+                DiagnosticKind::UnstableDomain,
+                "ln",
+                "ln of a value not provably bounded away from zero: yields -inf/NaN \
+                 the moment an entry reaches 0; use the ln(x + \u{3b5}) idiom \
+                 (add_scalar of a non-negative input with \u{3b5} > 0)"
+                    .to_string(),
+            );
+        }
+        // ln of a bounded positive interval is bounded; the output can be
+        // negative (inputs in (0, 1)), so the lower bound is Unknown.
+        let bounded = self.bounded_of(a) && self.lower_of(a) == Lower::Positive;
+        self.unary("ln", a, bounded, Lower::Unknown)
+    }
+
+    fn div(&mut self, a: Var, b: Var) -> Var {
+        if self.lower_of(b) != Lower::Positive {
+            self.diag(
+                DiagnosticKind::UnstableDomain,
+                "div",
+                "division by a value not provably bounded away from zero: yields \
+                 \u{b1}inf/NaN the moment an entry reaches 0; add a positive \u{3b5} \
+                 to a non-negative divisor first"
+                    .to_string(),
+            );
+        }
+        // A bounded numerator over a divisor bounded away from zero stays
+        // bounded; quotients of non-negatives can underflow to 0 → NonNeg.
+        let divisor_safe = self.lower_of(b) == Lower::Positive;
+        let bounded = self.bounded_of(a) && self.bounded_of(b) && divisor_safe;
+        let lower = if self.lower_of(a) >= Lower::NonNeg && divisor_safe {
+            Lower::NonNeg
+        } else {
+            Lower::Unknown
+        };
+        self.require_same("div", a, b);
+        let shape = self.shape_of(a);
+        self.push_with("div", shape, &[a, b], bounded, None, lower)
+    }
+
+    fn sqrt(&mut self, a: Var) -> Var {
+        if self.lower_of(a) == Lower::Unknown {
+            self.diag(
+                DiagnosticKind::UnstableDomain,
+                "sqrt",
+                "sqrt of a value not provably non-negative: yields NaN for any \
+                 negative entry; square, relu, or add a positive \u{3b5} first"
+                    .to_string(),
+            );
+        }
+        // √ preserves both non-negativity and positivity exactly in f32
+        // (no underflow: √x ≥ x for x in [0, 1]).
+        let bounded = self.bounded_of(a);
+        let lower = self.lower_of(a);
+        self.unary("sqrt", a, bounded, lower)
     }
 
     fn add_row(&mut self, a: Var, row: Var) -> Var {
@@ -326,7 +500,12 @@ impl Recorder for ShapeTracer {
             );
         }
         let bounded = self.bounded_of(a) && self.bounded_of(row);
-        self.push("add_row", sa, &[a, row], bounded, None)
+        let lower = if self.lower_of(a) >= Lower::NonNeg && self.lower_of(row) >= Lower::NonNeg {
+            self.lower_of(a).max(self.lower_of(row))
+        } else {
+            Lower::Unknown
+        };
+        self.push_with("add_row", sa, &[a, row], bounded, None, lower)
     }
 
     fn mul_row(&mut self, a: Var, row: Var) -> Var {
@@ -339,7 +518,8 @@ impl Recorder for ShapeTracer {
             );
         }
         let bounded = self.bounded_of(a) && self.bounded_of(row);
-        self.push("mul_row", sa, &[a, row], bounded, None)
+        let lower = self.nonneg_if_both(a, row);
+        self.push_with("mul_row", sa, &[a, row], bounded, None, lower)
     }
 
     fn mul_col(&mut self, a: Var, col: Var) -> Var {
@@ -352,35 +532,42 @@ impl Recorder for ShapeTracer {
             );
         }
         let bounded = self.bounded_of(a) && self.bounded_of(col);
-        self.push("mul_col", sa, &[a, col], bounded, None)
+        let lower = self.nonneg_if_both(a, col);
+        self.push_with("mul_col", sa, &[a, col], bounded, None, lower)
     }
 
     fn sum_all(&mut self, a: Var) -> Var {
         let bounded = self.bounded_of(a);
-        self.push("sum_all", (1, 1), &[a], bounded, None)
+        let lower = self.nonneg_reduce(a);
+        self.push_with("sum_all", (1, 1), &[a], bounded, None, lower)
     }
 
     fn mean_all(&mut self, a: Var) -> Var {
         let bounded = self.bounded_of(a);
-        self.push("mean_all", (1, 1), &[a], bounded, None)
+        let lower = self.nonneg_reduce(a);
+        self.push_with("mean_all", (1, 1), &[a], bounded, None, lower)
     }
 
     fn row_sum(&mut self, a: Var) -> Var {
         let (r, _) = self.shape_of(a);
         let bounded = self.bounded_of(a);
-        self.push("row_sum", (r, 1), &[a], bounded, None)
+        let lower = self.nonneg_reduce(a);
+        self.push_with("row_sum", (r, 1), &[a], bounded, None, lower)
     }
 
     fn col_mean(&mut self, a: Var) -> Var {
         let (_, c) = self.shape_of(a);
         let bounded = self.bounded_of(a);
-        self.push("col_mean", (1, c), &[a], bounded, None)
+        let lower = self.nonneg_reduce(a);
+        self.push_with("col_mean", (1, c), &[a], bounded, None, lower)
     }
 
     fn concat_cols(&mut self, parts: &[Var]) -> Var {
         let rows = parts.first().map_or(0, |&p| self.shape_of(p).0);
         let mut cols = 0;
         let mut bounded = true;
+        // The concatenation's bound is the weakest bound among its parts.
+        let mut lower = Lower::Positive;
         for &p in parts {
             let sp = self.shape_of(p);
             if sp.0 != rows {
@@ -392,8 +579,12 @@ impl Recorder for ShapeTracer {
             }
             cols += sp.1;
             bounded &= self.bounded_of(p);
+            lower = lower.min(self.lower_of(p));
         }
-        self.push("concat_cols", (rows, cols), parts, bounded, None)
+        if parts.is_empty() {
+            lower = Lower::Unknown;
+        }
+        self.push_with("concat_cols", (rows, cols), parts, bounded, None, lower)
     }
 
     fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
@@ -406,7 +597,8 @@ impl Recorder for ShapeTracer {
             );
         }
         let bounded = self.bounded_of(a);
-        self.push("slice_cols", (sa.0, end.saturating_sub(start)), &[a], bounded, None)
+        let lower = self.lower_of(a);
+        self.push_with("slice_cols", (sa.0, end.saturating_sub(start)), &[a], bounded, None, lower)
     }
 
     fn gather(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
@@ -419,26 +611,32 @@ impl Recorder for ShapeTracer {
             );
         }
         let bounded = self.bounded_of(a);
-        self.push("gather", (idx.len(), sa.1), &[a], bounded, None)
+        let lower = self.lower_of(a);
+        self.push_with("gather", (idx.len(), sa.1), &[a], bounded, None, lower)
     }
 
     fn layer_norm_rows(&mut self, a: Var, _eps: f32) -> Var {
-        self.unary("layer_norm_rows", a, true)
+        self.unary("layer_norm_rows", a, true, Lower::Unknown)
     }
 
     fn l2_normalize_rows(&mut self, a: Var, _eps: f32) -> Var {
-        self.unary("l2_normalize_rows", a, true)
+        // Rescaling by a positive norm preserves sign (entrywise).
+        let lower = self.nonneg_reduce(a);
+        self.unary("l2_normalize_rows", a, true, lower)
     }
 
     fn row_dots(&mut self, a: Var, b: Var) -> Var {
         self.require_same("row_dots", a, b);
         let (r, _) = self.shape_of(a);
         let bounded = self.bounded_of(a) && self.bounded_of(b);
-        self.push("row_dots", (r, 1), &[a, b], bounded, None)
+        let lower = self.nonneg_if_both(a, b);
+        self.push_with("row_dots", (r, 1), &[a, b], bounded, None, lower)
     }
 
     fn softmax_rows(&mut self, a: Var) -> Var {
-        self.unary("softmax_rows", a, true)
+        // Softmax entries underflow to exact 0.0 once logits spread past
+        // ~ln(f32::MAX): NonNeg, not Positive.
+        self.unary("softmax_rows", a, true, Lower::NonNeg)
     }
 
     fn segment_softmax(&mut self, logits: Var, seg: Rc<Vec<usize>>) -> Var {
@@ -451,7 +649,7 @@ impl Recorder for ShapeTracer {
             );
         }
         self.check_segments("segment_softmax", &seg, sl.0);
-        self.push("segment_softmax", sl, &[logits], true, None)
+        self.push_with("segment_softmax", sl, &[logits], true, None, Lower::NonNeg)
     }
 
     fn segment_weighted_sum(&mut self, w: Var, v: Var, seg: Rc<Vec<usize>>) -> Var {
@@ -473,7 +671,8 @@ impl Recorder for ShapeTracer {
         self.check_segments("segment_weighted_sum", &seg, sv.0);
         let n = seg.len().saturating_sub(1);
         let bounded = self.bounded_of(w) && self.bounded_of(v);
-        self.push("segment_weighted_sum", (n, sv.1), &[w, v], bounded, None)
+        let lower = self.nonneg_if_both(w, v);
+        self.push_with("segment_weighted_sum", (n, sv.1), &[w, v], bounded, None, lower)
     }
 
     fn dropout_mask(&mut self, a: Var, mask: Matrix) -> Var {
@@ -486,6 +685,9 @@ impl Recorder for ShapeTracer {
             );
         }
         let bounded = self.bounded_of(a);
-        self.push("dropout", sa, &[a], bounded, None)
+        // The mask is entrywise 0 or 1/(1-p) ≥ 0, so non-negativity survives
+        // but positivity does not (masked entries become exact zeros).
+        let lower = self.nonneg_reduce(a);
+        self.push_with("dropout", sa, &[a], bounded, None, lower)
     }
 }

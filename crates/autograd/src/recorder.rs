@@ -146,6 +146,22 @@ pub trait Recorder {
     #[must_use]
     fn softplus(&mut self, a: Var) -> Var;
 
+    /// Entrywise natural logarithm. Only defined for inputs provably
+    /// bounded away from zero — feed it `add_scalar(x, ε)` of a
+    /// non-negative `x`; the static auditor's domain check enforces this.
+    #[must_use]
+    fn ln(&mut self, a: Var) -> Var;
+
+    /// Elementwise quotient `a ⊘ b` (same shape). The divisor must be
+    /// provably bounded away from zero (see [`Recorder::ln`]).
+    #[must_use]
+    fn div(&mut self, a: Var, b: Var) -> Var;
+
+    /// Entrywise square root. The input must be provably non-negative
+    /// (see [`Recorder::ln`]).
+    #[must_use]
+    fn sqrt(&mut self, a: Var) -> Var;
+
     // ---- broadcasts ------------------------------------------------------
 
     /// Adds the `1 × d` row vector `row` to every row of `a` (bias terms).

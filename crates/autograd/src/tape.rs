@@ -1,10 +1,16 @@
 //! The autodiff tape: forward-op recording and the reverse pass.
+//!
+//! Allocation discipline: this file is the workspace's hottest allocation
+//! site, so the source lint forbids `.clone()` here unless the line carries
+//! a `// PLAN:` comment explaining why the copy is necessary and how the
+//! memory planner accounts for it.
 
 use std::rc::Rc;
 
 use dgnn_tensor::{Csr, Matrix};
 
 use crate::params::{ParamId, ParamSet};
+use crate::plan::TapePlan;
 use crate::recorder::{Recorder, Var};
 
 /// One recorded operation. Kept private: the public API is the builder
@@ -29,6 +35,12 @@ enum Op {
     Exp(Var),
     /// `ln(1 + eˣ)` with a numerically stable forward.
     Softplus(Var),
+    /// Natural logarithm (domain-checked statically by the auditor).
+    Ln(Var),
+    /// Elementwise quotient `a ⊘ b`.
+    Div(Var, Var),
+    /// Elementwise square root.
+    Sqrt(Var),
     /// Add a `1 × d` row vector to every row.
     AddRow(Var, Var),
     /// Multiply every row elementwise by a `1 × d` row vector.
@@ -66,6 +78,14 @@ enum Op {
 struct Node {
     op: Op,
     value: Matrix,
+    /// Forward shape, kept after `value` is freed: several backward rules
+    /// (`sum_all`, `gather`, `slice_cols`, …) need only the shape, and
+    /// routing them here lets the planner free those values early.
+    shape: (usize, usize),
+    /// True once a memory plan retired this node's value; any later value
+    /// read is a planner bug and panics loudly (the runtime backstop behind
+    /// the static safety proof).
+    freed: bool,
 }
 
 /// Records one forward pass and computes gradients on demand.
@@ -74,16 +94,39 @@ struct Node {
 /// graph-building surface lives on the [`Recorder`] trait so that models
 /// written against `R: Recorder` can also be abstractly interpreted (shape
 /// checking, dead-subgraph audits) without executing any tensor math.
+///
+/// With [`Tape::with_plan`] the tape becomes a *planned executor*: forward
+/// values are retired into the thread's [`dgnn_tensor::BufferPool`] at
+/// their statically computed death points — during recording (values whose
+/// last consumer is a forward op) and during [`Tape::backward_into`]
+/// (values last read by a gradient rule). Planned and unplanned execution
+/// are bit-identical; the plan only changes *when storage is reused*.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     finite_checks: bool,
+    plan: Option<Rc<TapePlan>>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arms a memory plan: as recording and backward proceed, node values
+    /// are freed at the plan's death points (see [`TapePlan`]). The plan
+    /// must have been computed for exactly the graph about to be recorded;
+    /// the tape asserts the node counts match and panics on any read of a
+    /// freed value.
+    pub fn with_plan(mut self, plan: Rc<TapePlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// True when a memory plan is armed.
+    pub fn is_planned(&self) -> bool {
+        self.plan.is_some()
     }
 
     /// Enables (or disables) the runtime finite-value guard: with checks
@@ -112,8 +155,24 @@ impl Tape {
     }
 
     /// Forward value of a variable.
+    ///
+    /// # Panics
+    /// Panics if an armed memory plan already freed the value — that read
+    /// would observe recycled storage, so the plan is unsound for this
+    /// graph and execution must stop.
     pub fn value(&self, v: Var) -> &Matrix {
-        &self.nodes[v.0].value
+        let node = &self.nodes[v.0];
+        assert!(
+            !node.freed,
+            "value of node {} read after its planned free point — the memory plan is unsound",
+            v.0
+        );
+        &node.value
+    }
+
+    /// Forward shape of a variable (available even after a planned free).
+    fn shape_of(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].shape
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
@@ -122,8 +181,33 @@ impl Tape {
         } else {
             debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
         }
-        self.nodes.push(Node { op, value });
-        Var(self.nodes.len() - 1)
+        let shape = value.shape();
+        self.nodes.push(Node { op, value, shape, freed: false });
+        let i = self.nodes.len() - 1;
+        if let Some(plan) = &self.plan {
+            let plan = Rc::clone(plan);
+            assert!(
+                i < plan.len(),
+                "tape recorded more nodes ({}) than the memory plan covers ({}) — \
+                 the plan was computed for a different graph",
+                i + 1,
+                plan.len()
+            );
+            for &d in &plan.forward_free[i] {
+                self.free_node(d as usize);
+            }
+        }
+        Var(i)
+    }
+
+    /// Retires one node's forward value into the thread's buffer pool.
+    fn free_node(&mut self, i: usize) {
+        let node = &mut self.nodes[i];
+        debug_assert!(!node.freed, "node {i} freed twice — the plan checker should reject this");
+        node.freed = true;
+        // The replaced value drops here; `Matrix::drop` retires its storage
+        // into the installed pool for reuse by a later node.
+        let _ = std::mem::replace(&mut node.value, Matrix::zeros(0, 0));
     }
 
     // ---- reverse pass ------------------------------------------------------
@@ -131,7 +215,18 @@ impl Tape {
     /// Runs the reverse pass from `loss` (which must be `1 × 1`) and
     /// *accumulates* parameter gradients into `params`. Returns the loss
     /// value as `f32` for logging.
-    pub fn backward_into(&self, loss: Var, params: &mut ParamSet) -> f32 {
+    ///
+    /// With a plan armed ([`Tape::with_plan`]) the sweep additionally
+    /// retires forward values at their statically computed backward death
+    /// points and recycles consumed gradient matrices. The arithmetic —
+    /// including the ascending-order leaf-gradient accumulation, which
+    /// matters because parameters appear as multiple leaves and `f32`
+    /// addition is order-sensitive — is identical either way.
+    pub fn backward_into(&mut self, loss: Var, params: &mut ParamSet) -> f32 {
+        // PLAN: Rc handle clone, not a matrix copy — no buffer involved.
+        if let Some(plan) = self.plan.clone() {
+            return self.backward_into_planned(loss, params, &plan);
+        }
         let grads = self.backward(loss);
         for (i, g) in grads.iter().enumerate() {
             if let (Op::Leaf { param: Some(id) }, Some(g)) = (&self.nodes[i].op, g) {
@@ -139,6 +234,45 @@ impl Tape {
             }
         }
         self.value(loss)[(0, 0)]
+    }
+
+    /// Planned reverse pass: same math as [`Tape::backward`], plus
+    /// statically scheduled frees after each node's backward step.
+    fn backward_into_planned(&mut self, loss: Var, params: &mut ParamSet, plan: &TapePlan) -> f32 {
+        let shape = self.value(loss).shape();
+        assert_eq!(shape, (1, 1), "backward: loss must be a 1×1 scalar, got {shape:?}");
+        assert_eq!(
+            plan.len(),
+            self.nodes.len(),
+            "memory plan covers {} nodes but the tape recorded {} — plan/graph mismatch",
+            plan.len(),
+            self.nodes.len()
+        );
+        let loss_val = self.value(loss)[(0, 0)];
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        for i in (0..=loss.0).rev() {
+            if let Some(g) = grads[i].take() {
+                self.backprop_node(i, &g, &mut grads);
+                if matches!(self.nodes[i].op, Op::Leaf { param: Some(_) }) {
+                    // Kept until the ascending accumulation pass below.
+                    grads[i] = Some(g);
+                }
+                // Non-leaf gradients drop here and recycle into the pool.
+            }
+            // Frees fire whether or not a gradient flowed: the plan's
+            // liveness conservatively assumes every backward read happens,
+            // so a skipped node only means the read never occurs.
+            for &d in &plan.backward_free[i] {
+                self.free_node(d as usize);
+            }
+        }
+        for (i, g) in grads.iter().enumerate() {
+            if let (Op::Leaf { param: Some(id) }, Some(g)) = (&self.nodes[i].op, g) {
+                params.accumulate_grad(*id, g);
+            }
+        }
+        loss_val
     }
 
     /// Runs the reverse pass and returns the gradient of `loss` with
@@ -174,10 +308,13 @@ impl Tape {
         match &self.nodes[i].op {
             Leaf { .. } => {}
             Add(a, b) => {
+                // PLAN: gradient fan-out needs one copy per operand; pooled
+                // storage backs both and each is recycled at its death point.
                 Self::accum(grads, *a, g.clone());
                 Self::accum(grads, *b, g.clone());
             }
             Sub(a, b) => {
+                // PLAN: fan-out copy, pooled and recycled (see Add above).
                 Self::accum(grads, *a, g.clone());
                 Self::accum(grads, *b, g.scale(-1.0));
             }
@@ -187,6 +324,7 @@ impl Tape {
             }
             Neg(a) => Self::accum(grads, *a, g.scale(-1.0)),
             Scale(a, k) => Self::accum(grads, *a, g.scale(*k)),
+            // PLAN: fan-out copy, pooled and recycled (see Add above).
             AddScalar(a) => Self::accum(grads, *a, g.clone()),
             MatMul(a, b) => {
                 // dA = G·Bᵀ ; dB = Aᵀ·G
@@ -195,12 +333,12 @@ impl Tape {
             }
             Transpose(a) => Self::accum(grads, *a, g.transpose()),
             Sigmoid(a) => {
-                let y = &self.nodes[i].value;
+                let y = self.value(Var(i));
                 let dy = y.map(|s| s * (1.0 - s));
                 Self::accum(grads, *a, g.mul_elem(&dy));
             }
             Tanh(a) => {
-                let y = &self.nodes[i].value;
+                let y = self.value(Var(i));
                 let dy = y.map(|t| 1.0 - t * t);
                 Self::accum(grads, *a, g.mul_elem(&dy));
             }
@@ -214,12 +352,28 @@ impl Tape {
                 let dy = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
                 Self::accum(grads, *a, g.mul_elem(&dy));
             }
-            Exp(a) => Self::accum(grads, *a, g.mul_elem(&self.nodes[i].value)),
+            Exp(a) => Self::accum(grads, *a, g.mul_elem(self.value(Var(i)))),
             Softplus(a) => {
                 let dy = self.value(*a).map(stable_sigmoid);
                 Self::accum(grads, *a, g.mul_elem(&dy));
             }
+            Ln(a) => {
+                let dy = self.value(*a).map(|x| 1.0 / x);
+                Self::accum(grads, *a, g.mul_elem(&dy));
+            }
+            Div(a, b) => {
+                // d(a/b)/da = 1/b ; d(a/b)/db = −a/b²
+                let inv_b = self.value(*b).map(|x| 1.0 / x);
+                Self::accum(grads, *a, g.mul_elem(&inv_b));
+                let gb = g.mul_elem(self.value(*a)).mul_elem(&inv_b).mul_elem(&inv_b).scale(-1.0);
+                Self::accum(grads, *b, gb);
+            }
+            Sqrt(a) => {
+                let dy = self.value(Var(i)).map(|y| 0.5 / y);
+                Self::accum(grads, *a, g.mul_elem(&dy));
+            }
             AddRow(a, row) => {
+                // PLAN: fan-out copy, pooled and recycled (see Add above).
                 Self::accum(grads, *a, g.clone());
                 Self::accum(grads, *row, g.col_sums());
             }
@@ -234,21 +388,21 @@ impl Tape {
                 Self::accum(grads, *col, gcol);
             }
             SumAll(a) => {
-                let (r, c) = self.value(*a).shape();
+                let (r, c) = self.shape_of(*a);
                 Self::accum(grads, *a, Matrix::full(r, c, g[(0, 0)]));
             }
             MeanAll(a) => {
-                let (r, c) = self.value(*a).shape();
+                let (r, c) = self.shape_of(*a);
                 let k = g[(0, 0)] / (r * c).max(1) as f32;
                 Self::accum(grads, *a, Matrix::full(r, c, k));
             }
             RowSum(a) => {
-                let (r, c) = self.value(*a).shape();
+                let (r, c) = self.shape_of(*a);
                 let ga = Matrix::from_fn(r, c, |row, _| g[(row, 0)]);
                 Self::accum(grads, *a, ga);
             }
             ColMean(a) => {
-                let (r, c) = self.value(*a).shape();
+                let (r, c) = self.shape_of(*a);
                 let k = 1.0 / r.max(1) as f32;
                 let ga = Matrix::from_fn(r, c, |_, col| g[(0, col)] * k);
                 Self::accum(grads, *a, ga);
@@ -256,13 +410,13 @@ impl Tape {
             ConcatCols(parts) => {
                 let mut off = 0;
                 for &p in parts {
-                    let w = self.value(p).cols();
+                    let w = self.shape_of(p).1;
                     Self::accum(grads, p, g.slice_cols(off, off + w));
                     off += w;
                 }
             }
             SliceCols { a, start, end } => {
-                let (r, c) = self.value(*a).shape();
+                let (r, c) = self.shape_of(*a);
                 let mut ga = Matrix::zeros(r, c);
                 for row in 0..r {
                     ga.row_mut(row)[*start..*end].copy_from_slice(g.row(row));
@@ -270,7 +424,7 @@ impl Tape {
                 Self::accum(grads, *a, ga);
             }
             Gather { a, idx } => {
-                let (r, c) = self.value(*a).shape();
+                let (r, c) = self.shape_of(*a);
                 let mut ga = Matrix::zeros(r, c);
                 ga.scatter_add_rows(idx, g);
                 Self::accum(grads, *a, ga);
@@ -280,7 +434,7 @@ impl Tape {
             }
             LayerNormRow { a, eps } => {
                 let x = self.value(*a);
-                let y = &self.nodes[i].value;
+                let y = self.value(Var(i));
                 let (r, c) = x.shape();
                 let mut ga = Matrix::zeros(r, c);
                 for row in 0..r {
@@ -320,7 +474,7 @@ impl Tape {
                 Self::accum(grads, *b, self.value(*a).mul_col_broadcast(g));
             }
             SoftmaxRows(a) => {
-                let y = &self.nodes[i].value;
+                let y = self.value(Var(i));
                 let (r, c) = y.shape();
                 let mut ga = Matrix::zeros(r, c);
                 for row in 0..r {
@@ -329,7 +483,7 @@ impl Tape {
                 Self::accum(grads, *a, ga);
             }
             SegmentSoftmax { logits, seg } => {
-                let y = &self.nodes[i].value;
+                let y = self.value(Var(i));
                 let e = y.rows();
                 let mut ga = Matrix::zeros(e, 1);
                 for n in 0..seg.len() - 1 {
@@ -382,11 +536,14 @@ impl Recorder for Tape {
     }
 
     fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        // PLAN: leaves copy the parameter so the optimizer can update the
+        // ParamSet mid-epoch without aliasing the tape; pooled storage backs
+        // the copy and the planner frees it at its last gradient read.
         self.push(Op::Leaf { param: Some(id) }, params.value(id).clone())
     }
 
     fn shape(&self, v: Var) -> (usize, usize) {
-        self.value(v).shape()
+        self.shape_of(v)
     }
 
     // ---- elementwise ----------------------------------------------------
@@ -472,6 +629,21 @@ impl Recorder for Tape {
         self.push(Op::Softplus(a), v)
     }
 
+    fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        self.push(Op::Ln(a), v)
+    }
+
+    fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).div_elem(self.value(b));
+        self.push(Op::Div(a, b), v)
+    }
+
+    fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::sqrt);
+        self.push(Op::Sqrt(a), v)
+    }
+
     // ---- broadcasts ------------------------------------------------------
 
     fn add_row(&mut self, a: Var, row: Var) -> Var {
@@ -534,6 +706,8 @@ impl Recorder for Tape {
 
     fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
         let x = self.value(a);
+        // PLAN: forward normalizes a copy in place; the copy becomes the
+        // node value, whose lifetime the planner manages like any other.
         let mut v = x.clone();
         for r in 0..v.rows() {
             layer_norm_row(v.row_mut(r), eps);
@@ -566,6 +740,8 @@ impl Recorder for Tape {
             x.rows(),
             "segment_softmax: pointer does not cover all edges"
         );
+        // PLAN: per-segment softmax normalizes a copy in place; the copy is
+        // the node value and is pooled/freed like any other.
         let mut v = x.clone();
         for n in 0..seg.len() - 1 {
             let (lo, hi) = (seg[n], seg[n + 1]);

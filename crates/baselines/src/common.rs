@@ -3,7 +3,7 @@
 
 use std::rc::Rc;
 
-use dgnn_autograd::{Adam, Optimizer, ParamSet, Recorder, Tape, Var};
+use dgnn_autograd::{Adam, Optimizer, ParamSet, PlanHarness, Recorder, Tape, Var};
 use dgnn_data::{TrainSampler, Triple};
 use dgnn_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -25,6 +25,10 @@ pub struct BaselineConfig {
     pub learning_rate: f32,
     /// L2 weight decay.
     pub weight_decay: f32,
+    /// Execute training steps under a proven static memory plan (traced
+    /// baselines only: NGCF, GCCF, DGCF, MHCN, DisenHAN; the others train
+    /// unplanned regardless). Bit-identical to unplanned execution.
+    pub use_memory_plan: bool,
 }
 
 impl Default for BaselineConfig {
@@ -36,7 +40,16 @@ impl Default for BaselineConfig {
             batch_size: 2048,
             learning_rate: 0.01,
             weight_decay: 1e-4,
+            use_memory_plan: false,
         }
+    }
+}
+
+impl BaselineConfig {
+    /// Enables statically planned, pooled training-step execution.
+    pub fn with_memory_plan(mut self) -> Self {
+        self.use_memory_plan = true;
+        self
     }
 }
 
@@ -72,9 +85,21 @@ pub(crate) fn bpr_from_embeddings<R: Recorder>(
     tape.bpr_loss(ps, ns)
 }
 
+/// A deterministic probe batch for tracing a planned step. Drawn from its
+/// own RNG so the training stream is untouched and planned runs remain
+/// bit-identical to unplanned ones.
+pub(crate) fn probe_batch(sampler: &TrainSampler, batch_size: usize, seed: u64) -> Vec<Triple> {
+    sampler.batch(&mut StdRng::seed_from_u64(seed ^ 0x9E37_79B9), batch_size)
+}
+
 /// Flexible training loop: `forward` receives the tape, parameters, the
 /// batch, and an RNG (for models with auxiliary sampling such as EATNN's
 /// social task or MHCN's embedding corruption) and returns the scalar loss.
+///
+/// With `harness` set (a proven plan from
+/// [`dgnn_core::training::planned_harness`]), every step runs planned:
+/// intermediates retire into the harness's buffer pool at their static
+/// death points. The arithmetic is identical either way.
 ///
 /// Returns mean loss per epoch.
 pub(crate) fn train_loop(
@@ -84,6 +109,7 @@ pub(crate) fn train_loop(
     adam: &mut Adam,
     sampler: &TrainSampler,
     seed: u64,
+    mut harness: Option<PlanHarness>,
     mut forward: impl FnMut(&mut Tape, &ParamSet, &[Triple], &mut StdRng) -> Var,
 ) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E11E5);
@@ -93,12 +119,18 @@ pub(crate) fn train_loop(
         let mut epoch_loss = 0.0;
         for _ in 0..batches {
             let triples = sampler.batch(&mut rng, batch_size);
-            let mut tape = Tape::new();
+            let mut tape = match harness.as_mut() {
+                Some(h) => h.begin_step(),
+                None => Tape::new(),
+            };
             let loss = forward(&mut tape, params, &triples, &mut rng);
             params.zero_grads();
             epoch_loss += tape.backward_into(loss, params);
             params.clip_grad_norm(50.0);
             adam.step(params);
+            if let Some(h) = harness.as_mut() {
+                h.end_step(tape);
+            }
         }
         losses.push(epoch_loss / batches as f32);
     }

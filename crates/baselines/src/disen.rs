@@ -20,7 +20,7 @@ use dgnn_tensor::{Csr, Init, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::common::{bpr_from_embeddings, train_loop, BaselineConfig, BatchIdx, Scorer};
+use crate::common::{bpr_from_embeddings, probe_batch, train_loop, BaselineConfig, BatchIdx, Scorer};
 
 /// Number of disentangled intents/aspects (both reference implementations
 /// default to 4).
@@ -205,12 +205,22 @@ impl Dgcf {
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E11E5);
         let batches = sampler.num_positives().div_ceil(self.cfg.batch_size).max(1);
+        let mut harness = self.cfg.use_memory_plan.then(|| {
+            let probe = probe_batch(&sampler, self.cfg.batch_size, seed);
+            dgnn_core::training::planned_harness(|tr| {
+                let (users, items) = dgcf_forward(&st, d, tr, &params);
+                bpr_from_embeddings(tr, users, items, &BatchIdx::new(&probe))
+            })
+        });
         self.loss_history.clear();
         for epoch in 0..self.cfg.epochs {
             let mut epoch_loss = 0.0;
             for _ in 0..batches {
                 let triples = sampler.batch(&mut rng, self.cfg.batch_size);
-                let mut tape = Tape::new();
+                let mut tape = match harness.as_mut() {
+                    Some(h) => h.begin_step(),
+                    None => Tape::new(),
+                };
                 let (users, items) = dgcf_forward(&st, d, &mut tape, &params);
                 let loss = bpr_from_embeddings(&mut tape, users, items, &BatchIdx::new(&triples));
                 params.zero_grads();
@@ -218,6 +228,9 @@ impl Dgcf {
                 params.clip_grad_norm(50.0);
                 use dgnn_autograd::Optimizer;
                 adam.step(&mut params);
+                if let Some(h) = harness.as_mut() {
+                    h.end_step(tape);
+                }
             }
             let mean = epoch_loss / batches as f32;
             self.loss_history.push(mean);
@@ -440,6 +453,13 @@ impl Trainable for DisenHan {
 
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
+        let harness = self.cfg.use_memory_plan.then(|| {
+            let probe = probe_batch(&sampler, self.cfg.batch_size, seed);
+            dgnn_core::training::planned_harness(|tr| {
+                let (users, items) = disen_forward(&st, d, tr, &params);
+                bpr_from_embeddings(tr, users, items, &BatchIdx::new(&probe))
+            })
+        });
         self.loss_history = train_loop(
             self.cfg.epochs,
             self.cfg.batch_size,
@@ -447,6 +467,7 @@ impl Trainable for DisenHan {
             &mut adam,
             &sampler,
             seed,
+            harness,
             |tape, params, triples, _| {
                 let (users, items) = disen_forward(&st, d, tape, params);
                 bpr_from_embeddings(tape, users, items, &BatchIdx::new(triples))

@@ -16,7 +16,7 @@ use dgnn_tensor::{Csr, Init, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::common::{bpr_from_embeddings, train_loop, BaselineConfig, BatchIdx, Scorer};
+use crate::common::{bpr_from_embeddings, probe_batch, train_loop, BaselineConfig, BatchIdx, Scorer};
 
 /// Which CF variant to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +147,13 @@ impl GraphCf {
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
         let (variant, layers) = (self.variant, self.cfg.layers);
+        let harness = self.cfg.use_memory_plan.then(|| {
+            let probe = probe_batch(&sampler, self.cfg.batch_size, seed);
+            dgnn_core::training::planned_harness(|tr| {
+                let (users, items) = forward(&st, variant, layers, tr, &params);
+                bpr_from_embeddings(tr, users, items, &BatchIdx::new(&probe))
+            })
+        });
         self.loss_history = train_loop(
             self.cfg.epochs,
             self.cfg.batch_size,
@@ -154,6 +161,7 @@ impl GraphCf {
             &mut adam,
             &sampler,
             seed,
+            harness,
             |tape, params, triples, _| {
                 let (users, items) = forward(&st, variant, layers, tape, params);
                 bpr_from_embeddings(tape, users, items, &BatchIdx::new(triples))

@@ -1,0 +1,261 @@
+//! **Memory-plan audit**: static liveness statistics and runtime
+//! allocation counts for every traced model, plus the CI regression gate.
+//!
+//! For DGNN and the five traced baselines (NGCF, GCCF, DGCF, MHCN,
+//! DisenHAN) this binary traces one training step, plans it
+//! ([`dgnn_analysis::plan`]), verifies the plan with the independent
+//! safety checker, and prints the static picture — node count, reuse
+//! classes, unplanned total bytes vs. planned peak-live bytes — next to
+//! measured allocation counters from a short planned and unplanned
+//! training run on the tiny dataset.
+//!
+//! ```text
+//! memplan                     print the table
+//! memplan --write PATH        additionally write the baseline JSON
+//! memplan --check PATH        exit 1 if any model's planned peak-live
+//!                             bytes regressed >10% vs. the baseline
+//! ```
+
+use std::process::ExitCode;
+
+use dgnn_analysis::{check_plan, plan, MemoryPlan, ShapeTracer};
+use dgnn_baselines::{BaselineConfig, Dgcf, DisenHan, Gccf, Mhcn, Ngcf};
+use dgnn_core::{Dgnn, DgnnConfig};
+use dgnn_data::{tiny, Dataset, TrainSampler, Triple};
+use dgnn_eval::Trainable;
+use dgnn_tensor::{alloc_counters, reset_alloc_counters};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed shared by the trace, the probe batch, and the timing runs.
+const SEED: u64 = 2023;
+/// Allowed relative growth of planned peak-live bytes before `--check`
+/// fails.
+const REGRESSION_BUDGET: f64 = 0.10;
+
+fn quick_baseline() -> BaselineConfig {
+    BaselineConfig { dim: 8, layers: 2, epochs: 4, batch_size: 256, ..Default::default() }
+}
+
+fn quick_dgnn() -> DgnnConfig {
+    DgnnConfig {
+        dim: 8,
+        layers: 2,
+        memory_units: 4,
+        epochs: 4,
+        batch_size: 256,
+        ..Default::default()
+    }
+}
+
+/// The deterministic probe batch every trace uses (same derivation as the
+/// planned trainers).
+fn probe(data: &Dataset, batch_size: usize) -> Vec<Triple> {
+    let sampler = TrainSampler::new(&data.graph);
+    sampler.batch(&mut StdRng::seed_from_u64(SEED ^ 0x9E37_79B9), batch_size)
+}
+
+/// One audited model: its proven plan plus measured allocation counters.
+struct Row {
+    name: &'static str,
+    plan: MemoryPlan,
+    steps: u64,
+    fresh_unplanned: u64,
+    fresh_planned: u64,
+    pool_hits: u64,
+}
+
+impl Row {
+    fn reduction(&self) -> f64 {
+        self.fresh_unplanned as f64 / self.fresh_planned.max(1) as f64
+    }
+
+    fn bytes_saved_frac(&self) -> f64 {
+        1.0 - self.plan.peak_live_bytes() as f64 / self.plan.total_value_bytes().max(1) as f64
+    }
+}
+
+/// Traces, plans, proves, and time-runs one model.
+fn audit(
+    name: &'static str,
+    trace: impl FnOnce(&mut ShapeTracer) -> dgnn_autograd::Var,
+    fit: impl Fn(bool),
+    steps: u64,
+) -> Row {
+    let mut tracer = ShapeTracer::new();
+    let loss = trace(&mut tracer);
+    let mplan = plan(&tracer, loss, &[]);
+    if let Err(v) = check_plan(&tracer, loss, &[], &mplan) {
+        // PANICS: the audit exists to prove plans; an unprovable one is a
+        // planner bug that must fail the run loudly.
+        panic!("{name}: plan failed its safety proof: {v}");
+    }
+
+    reset_alloc_counters();
+    fit(false);
+    let (fresh_unplanned, _) = alloc_counters();
+    reset_alloc_counters();
+    fit(true);
+    let (fresh_planned, pool_hits) = alloc_counters();
+    Row { name, plan: mplan, steps, fresh_unplanned, fresh_planned, pool_hits }
+}
+
+fn rows(data: &Dataset) -> Vec<Row> {
+    let bcfg = quick_baseline();
+    let dcfg = quick_dgnn();
+    let triples = probe(data, bcfg.batch_size);
+    let batches =
+        TrainSampler::new(&data.graph).num_positives().div_ceil(bcfg.batch_size).max(1);
+    let steps = (batches * bcfg.epochs) as u64;
+
+    let mut out = Vec::new();
+
+    let mut m = Dgnn::new(dcfg.clone());
+    m.prepare(&data.graph, SEED);
+    out.push(audit(
+        "DGNN",
+        |tr| m.record_step(tr, &triples),
+        |planned| {
+            let cfg = if planned { dcfg.clone().with_memory_plan() } else { dcfg.clone() };
+            Dgnn::new(cfg).fit(data, SEED);
+        },
+        steps,
+    ));
+
+    macro_rules! baseline_row {
+        ($name:literal, $ty:ident) => {
+            out.push(audit(
+                $name,
+                |tr| $ty::trace_step(&bcfg, data, &triples, SEED, tr).1,
+                |planned| {
+                    let cfg =
+                        if planned { bcfg.clone().with_memory_plan() } else { bcfg.clone() };
+                    $ty::new(cfg).fit(data, SEED);
+                },
+                steps,
+            ));
+        };
+    }
+    baseline_row!("NGCF", Ngcf);
+    baseline_row!("GCCF", Gccf);
+    baseline_row!("DGCF", Dgcf);
+    baseline_row!("MHCN", Mhcn);
+    baseline_row!("DisenHAN", DisenHan);
+    out
+}
+
+fn baseline_json(rows: &[Row]) -> String {
+    let mut s = String::from("{\n  \"models\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {{\"nodes\": {}, \"num_buffers\": {}, \"peak_live_bytes\": {}, \
+             \"total_value_bytes\": {}}}{sep}\n",
+            r.name,
+            r.plan.num_nodes(),
+            r.plan.num_buffers(),
+            r.plan.peak_live_bytes(),
+            r.plan.total_value_bytes(),
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Pulls `"model": {... "peak_live_bytes": N ...}` out of the baseline
+/// file. The file is machine-written by `--write` in a fixed shape, so a
+/// targeted scan beats a full JSON parser here.
+fn baseline_peak(json: &str, model: &str) -> Option<u64> {
+    let obj = &json[json.find(&format!("\"{model}\""))?..];
+    let obj = &obj[..obj.find('}')? + 1];
+    let tail = &obj[obj.find("\"peak_live_bytes\"")? + "\"peak_live_bytes\"".len()..];
+    let digits: String =
+        tail.chars().skip_while(|c| !c.is_ascii_digit()).take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_path = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            // PANICS: a trailing --write/--check with no path is an operator
+            // error on the command line; there is nothing to recover.
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("memplan: {flag} requires a path argument"))
+        })
+    };
+
+    let data = tiny(SEED);
+    println!("=== Static memory plans (tiny dataset, quick configs) ===\n");
+    println!(
+        "{:<10} {:>6} {:>8} {:>12} {:>12} {:>7} {:>12} {:>12} {:>10} {:>7}",
+        "Model",
+        "Nodes",
+        "Buffers",
+        "Unplanned B",
+        "Peak-live B",
+        "Saved",
+        "Fresh (off)",
+        "Fresh (on)",
+        "Pool hits",
+        "Reduc",
+    );
+    let rows = rows(&data);
+    for r in &rows {
+        println!(
+            "{:<10} {:>6} {:>8} {:>12} {:>12} {:>6.1}% {:>12} {:>12} {:>10} {:>6.1}x",
+            r.name,
+            r.plan.num_nodes(),
+            r.plan.num_buffers(),
+            r.plan.total_value_bytes(),
+            r.plan.peak_live_bytes(),
+            100.0 * r.bytes_saved_frac(),
+            r.fresh_unplanned,
+            r.fresh_planned,
+            r.pool_hits,
+            r.reduction(),
+        );
+    }
+    let dgnn = &rows[0];
+    println!(
+        "\nDGNN: {} training steps, {:.1} fresh allocations/step unplanned vs {:.1} planned \
+         ({:.1}x reduction)",
+        dgnn.steps,
+        dgnn.fresh_unplanned as f64 / dgnn.steps as f64,
+        dgnn.fresh_planned as f64 / dgnn.steps as f64,
+        dgnn.reduction(),
+    );
+
+    if let Some(path) = flag_path("--write") {
+        std::fs::write(path, baseline_json(&rows)).expect("memplan: writing baseline file");
+        println!("baseline written: {path}");
+    }
+
+    if let Some(path) = flag_path("--check") {
+        let json = std::fs::read_to_string(path).expect("memplan: reading baseline file");
+        let mut failed = false;
+        for r in &rows {
+            let Some(base) = baseline_peak(&json, r.name) else {
+                eprintln!("REGRESSION {}: model missing from baseline {path}", r.name);
+                failed = true;
+                continue;
+            };
+            let budget = (base as f64 * (1.0 + REGRESSION_BUDGET)) as u64;
+            let peak = r.plan.peak_live_bytes() as u64;
+            if peak > budget {
+                eprintln!(
+                    "REGRESSION {}: peak_live_bytes {peak} exceeds baseline {base} by more \
+                     than {:.0}% (budget {budget})",
+                    r.name,
+                    100.0 * REGRESSION_BUDGET,
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!("peak-live-bytes check passed against {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -34,6 +34,14 @@ pub struct DgnnConfig {
     pub use_social: bool,
     /// Ablation `-T`: `false` removes the item-relation matrix `T`.
     pub use_knowledge: bool,
+    /// Execute training steps under a static [`MemoryPlan`]: intermediates
+    /// are retired at their statically computed death points into a
+    /// shape-keyed buffer pool. Bit-identical to unplanned execution; the
+    /// plan is verified by the independent safety checker before the first
+    /// step runs.
+    ///
+    /// [`MemoryPlan`]: https://docs.rs/dgnn-analysis
+    pub use_memory_plan: bool,
 }
 
 impl Default for DgnnConfig {
@@ -52,6 +60,7 @@ impl Default for DgnnConfig {
             use_layer_norm: true,
             use_social: true,
             use_knowledge: true,
+            use_memory_plan: false,
         }
     }
 }
@@ -90,6 +99,12 @@ impl DgnnConfig {
     /// The `-ST` variant of Figure 5.
     pub fn without_social_and_knowledge(self) -> Self {
         self.without_social().without_knowledge()
+    }
+
+    /// Enables statically planned, pooled training-step execution.
+    pub fn with_memory_plan(mut self) -> Self {
+        self.use_memory_plan = true;
+        self
     }
 
     /// Effective number of memory units after the `-M` ablation.

@@ -220,16 +220,32 @@ impl Dgnn {
             sampler.num_positives().div_ceil(loop_cfg.batch_size).max(1);
         self.loss_history.clear();
 
+        // Statically planned execution: trace one probe step (on its own
+        // rng, so training draws are untouched and results stay
+        // bit-identical), prove the plan safe, and recycle intermediates at
+        // their computed death points for the whole run.
+        let mut harness = self.cfg.use_memory_plan.then(|| {
+            let mut probe_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+            let probe = sampler.batch(&mut probe_rng, loop_cfg.batch_size);
+            crate::training::planned_harness(|tr| self.record_step(tr, &probe))
+        });
+
         for epoch in 0..loop_cfg.epochs {
             let mut epoch_loss = 0.0;
             for _ in 0..batches_per_epoch {
                 let triples = sampler.batch(&mut rng, loop_cfg.batch_size);
-                let mut tape = Tape::new();
+                let mut tape = match harness.as_mut() {
+                    Some(h) => h.begin_step(),
+                    None => Tape::new(),
+                };
                 let loss = self.record_step(&mut tape, &triples);
                 self.params.zero_grads();
                 epoch_loss += tape.backward_into(loss, &mut self.params);
                 self.params.clip_grad_norm(loop_cfg.grad_clip);
                 adam.step(&mut self.params);
+                if let Some(h) = harness.as_mut() {
+                    h.end_step(tape);
+                }
             }
             let mean = epoch_loss / batches_per_epoch as f32;
             self.loss_history.push(mean);

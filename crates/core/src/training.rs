@@ -2,10 +2,40 @@
 //! in the reproduction so cross-model timing comparisons (Table IV) measure
 //! the models, not the harness.
 
-use dgnn_autograd::{Adam, Optimizer, ParamSet, Recorder, Tape, Var};
+use dgnn_analysis::ShapeTracer;
+use dgnn_autograd::{Adam, Optimizer, ParamSet, PlanHarness, Recorder, Tape, Var};
 use dgnn_data::{TrainSampler, Triple};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Builds a proven [`PlanHarness`] for a model's training step.
+///
+/// `trace` records one representative step onto the given abstract tracer
+/// (the same `record_step`/`trace_step` code the trainer runs on a `Tape`)
+/// and returns the loss variable. The step is planned
+/// ([`dgnn_analysis::plan`]), the plan is verified by the *independent*
+/// safety checker ([`dgnn_analysis::check_plan`]), and only then lowered
+/// into an executable harness. Plans depend solely on graph topology, so
+/// one probe batch covers every batch of training.
+///
+/// # Panics
+/// Panics when the traced step fails the safety proof — executing an
+/// unproven plan could free a value that backward still reads.
+pub fn planned_harness<F>(trace: F) -> PlanHarness
+where
+    F: FnOnce(&mut ShapeTracer) -> Var,
+{
+    let mut tracer = ShapeTracer::new();
+    let loss = trace(&mut tracer);
+    let mplan = dgnn_analysis::plan(&tracer, loss, &[]);
+    if let Err(violation) = dgnn_analysis::check_plan(&tracer, loss, &[], &mplan) {
+        // PANICS: an unsound plan must never reach the executor; this fires
+        // only on a planner bug, which the independent checker exists to
+        // catch before any memory is recycled.
+        panic!("refusing to execute an unproven memory plan: {violation}");
+    }
+    PlanHarness::new(mplan.tape_plan())
+}
 
 /// Loop hyperparameters.
 #[derive(Debug, Clone, Copy)]

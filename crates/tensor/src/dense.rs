@@ -3,17 +3,37 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::pool;
+
 /// A row-major dense matrix of `f32`.
 ///
 /// All shapes are checked with assertions; shape errors in a GNN are
 /// programming errors, not recoverable conditions, so panicking with a
 /// precise message is the right contract (it mirrors what `ndarray` and
 /// `nalgebra` do for mismatched dimensions).
-#[derive(Clone, PartialEq)]
+///
+/// Storage comes from the thread's [`crate::BufferPool`] when one is
+/// installed (see [`crate::recycle`]); otherwise from the heap. Either way
+/// the contents a constructor produces are identical.
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self { rows: self.rows, cols: self.cols, data: pool::alloc_copied(&self.data) }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        // With a pool installed every dropped matrix retires its storage for
+        // reuse; with none installed this is an ordinary heap free.
+        pool::recycle_vec(std::mem::take(&mut self.data));
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -35,12 +55,12 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: pool::alloc_zeroed(rows * cols) }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self { rows, cols, data: pool::alloc_filled(rows * cols, value) }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -59,13 +79,19 @@ impl Matrix {
 
     /// Creates a matrix by evaluating `f(row, col)` for every entry.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool::alloc_overwritten(rows * cols);
         for r in 0..rows {
-            for c in 0..cols {
-                data.push(f(r, c));
+            for (c, slot) in data[r * cols..(r + 1) * cols].iter_mut().enumerate() {
+                *slot = f(r, c);
             }
         }
         Self { rows, cols, data }
+    }
+
+    /// Consumes the matrix and returns its backing storage (used by
+    /// [`crate::recycle`] to retire buffers into the installed pool).
+    pub fn into_raw_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Creates the `n × n` identity matrix.
@@ -246,6 +272,13 @@ impl Matrix {
         self.zip_with(rhs, "mul_elem", |a, b| a * b)
     }
 
+    /// Elementwise quotient `self ⊘ rhs`. Division by zero follows IEEE
+    /// semantics (±∞/NaN); the static auditor's domain check exists to keep
+    /// such divisors out of real graphs.
+    pub fn div_elem(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, "div_elem", |a, b| a / b)
+    }
+
     fn zip_with(&self, rhs: &Matrix, what: &str, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(
             self.shape(),
@@ -254,7 +287,10 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        let mut data = pool::alloc_overwritten(self.data.len());
+        for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = f(a, b);
+        }
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
@@ -288,11 +324,11 @@ impl Matrix {
 
     /// Entry-wise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+        let mut data = pool::alloc_overwritten(self.data.len());
+        for (o, &v) in data.iter_mut().zip(&self.data) {
+            *o = f(v);
         }
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Adds the `1 × cols` row vector `row` to every row.
@@ -351,13 +387,16 @@ impl Matrix {
 
     /// `rows × 1` vector of per-row sums.
     pub fn row_sums(&self) -> Matrix {
-        let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
+        let mut data = pool::alloc_overwritten(self.rows);
+        for (r, o) in data.iter_mut().enumerate() {
+            *o = self.row(r).iter().sum();
+        }
         Matrix { rows: self.rows, cols: 1, data }
     }
 
     /// `1 × cols` vector of per-column sums.
     pub fn col_sums(&self) -> Matrix {
-        let mut data = vec![0.0; self.cols];
+        let mut data = pool::alloc_zeroed(self.cols);
         for r in 0..self.rows {
             for (acc, &v) in data.iter_mut().zip(self.row(r)) {
                 *acc += v;
@@ -370,9 +409,10 @@ impl Matrix {
     /// `rhs` (i.e. `sum(self ⊙ rhs, axis=1)`).
     pub fn row_dots(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "row_dots: shape mismatch");
-        let data = (0..self.rows)
-            .map(|r| self.row(r).iter().zip(rhs.row(r)).map(|(&a, &b)| a * b).sum())
-            .collect();
+        let mut data = pool::alloc_overwritten(self.rows);
+        for (r, o) in data.iter_mut().enumerate() {
+            *o = self.row(r).iter().zip(rhs.row(r)).map(|(&a, &b)| a * b).sum();
+        }
         Matrix { rows: self.rows, cols: 1, data }
     }
 
@@ -416,9 +456,11 @@ impl Matrix {
             "concat_rows: column count mismatch"
         );
         let rows: usize = parts.iter().map(|p| p.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool::alloc_overwritten(rows * cols);
+        let mut off = 0;
         for p in parts {
-            data.extend_from_slice(&p.data);
+            data[off..off + p.data.len()].copy_from_slice(&p.data);
+            off += p.data.len();
         }
         Matrix { rows, cols, data }
     }

@@ -11,10 +11,12 @@
 
 mod dense;
 mod init;
+mod pool;
 mod sparse;
 
 pub use dense::Matrix;
 pub use init::{xavier_uniform, Init};
+pub use pool::{alloc_counters, recycle, recycle_vec, reset_alloc_counters, BufferPool};
 pub use sparse::{Csr, CsrBuilder};
 
 /// Numerical tolerance used by approximate-equality helpers in tests.

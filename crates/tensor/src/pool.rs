@@ -1,0 +1,220 @@
+//! Shape-keyed buffer recycling for planned tape execution.
+//!
+//! A [`BufferPool`] holds retired `Vec<f32>` backing stores bucketed by
+//! exact element count. While a pool is *installed* on the current thread,
+//! every fresh [`crate::Matrix`] allocation first tries to reuse a retired
+//! buffer of the same length; otherwise it falls back to a normal heap
+//! allocation. With no pool installed (the default), allocation behaviour
+//! is exactly the pre-pool behaviour — one heap allocation per matrix.
+//!
+//! The pool is deliberately *value-transparent*: recycled storage is always
+//! re-initialized (zero-filled, value-filled, or fully overwritten) before a
+//! `Matrix` is built on top of it, so pooled and unpooled execution are
+//! bit-identical. The planner's golden tests rely on this.
+//!
+//! Two thread-local counters record how many matrix allocations were served
+//! fresh from the heap versus recycled from the pool; the bench harness and
+//! the `memory_plan` integration tests use them to measure the allocation
+//! reduction a [`MemoryPlan`](https://docs.rs/) delivers.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+use crate::Matrix;
+
+thread_local! {
+    static INSTALLED: RefCell<Option<BufferPool>> = const { RefCell::new(None) };
+    static FRESH_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static POOL_HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A bucket map from exact element count to retired `f32` buffers.
+///
+/// Buffers enter via [`recycle`] and leave via the crate-internal matrix
+/// allocators. Install a pool with [`BufferPool::install`] to activate
+/// recycling on the current thread; take it back with
+/// [`BufferPool::uninstall`].
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    buckets: BTreeMap<usize, Vec<Vec<f32>>>,
+    held_bytes: usize,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retired buffers currently held.
+    pub fn held_buffers(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Total bytes of retired storage currently held.
+    pub fn held_bytes(&self) -> usize {
+        self.held_bytes
+    }
+
+    /// Installs this pool on the current thread so matrix allocations can
+    /// recycle its buffers.
+    ///
+    /// # Panics
+    /// Panics if another pool is already installed on this thread (pools do
+    /// not nest; a planned training step owns the whole step).
+    pub fn install(self) {
+        INSTALLED.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            assert!(slot.is_none(), "BufferPool::install: a pool is already installed on this thread");
+            *slot = Some(self);
+        });
+    }
+
+    /// Removes and returns the pool installed on the current thread, if any.
+    pub fn uninstall() -> Option<BufferPool> {
+        INSTALLED.with(|slot| slot.borrow_mut().take())
+    }
+
+    /// True when a pool is installed on the current thread.
+    pub fn is_installed() -> bool {
+        INSTALLED.with(|slot| slot.borrow().is_some())
+    }
+
+    fn put(&mut self, buf: Vec<f32>) {
+        self.held_bytes += buf.len() * size_of::<f32>();
+        self.buckets.entry(buf.len()).or_default().push(buf);
+    }
+
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        let bucket = self.buckets.get_mut(&len)?;
+        let buf = bucket.pop()?;
+        self.held_bytes -= len * size_of::<f32>();
+        Some(buf)
+    }
+}
+
+/// Retires a matrix's backing storage into the thread's installed pool.
+///
+/// With no pool installed this is an ordinary drop. Zero-length matrices
+/// are dropped either way (they hold no heap storage).
+pub fn recycle(m: Matrix) {
+    recycle_vec(m.into_raw_vec());
+}
+
+/// Retires a raw buffer into the thread's installed pool (see [`recycle`]).
+pub fn recycle_vec(buf: Vec<f32>) {
+    if buf.is_empty() {
+        return;
+    }
+    INSTALLED.with(|slot| {
+        if let Some(pool) = slot.borrow_mut().as_mut() {
+            pool.put(buf);
+        }
+    });
+}
+
+/// `(fresh_heap_allocations, pool_hits)` for matrix storage on this thread
+/// since the last [`reset_alloc_counters`].
+pub fn alloc_counters() -> (u64, u64) {
+    (FRESH_ALLOCS.with(Cell::get), POOL_HITS.with(Cell::get))
+}
+
+/// Zeroes this thread's allocation counters.
+pub fn reset_alloc_counters() {
+    FRESH_ALLOCS.with(|c| c.set(0));
+    POOL_HITS.with(|c| c.set(0));
+}
+
+/// Pops a recycled buffer of exactly `len` elements, counting the hit.
+fn take_recycled(len: usize) -> Option<Vec<f32>> {
+    let buf = INSTALLED.with(|slot| slot.borrow_mut().as_mut().and_then(|p| p.take(len)));
+    if buf.is_some() {
+        POOL_HITS.with(|c| c.set(c.get() + 1));
+    }
+    buf
+}
+
+/// A `len`-element buffer of zeros, recycled when possible.
+pub(crate) fn alloc_zeroed(len: usize) -> Vec<f32> {
+    alloc_filled(len, 0.0)
+}
+
+/// A `len`-element buffer filled with `value`, recycled when possible.
+pub(crate) fn alloc_filled(len: usize, value: f32) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    match take_recycled(len) {
+        Some(mut buf) => {
+            buf.fill(value);
+            buf
+        }
+        None => {
+            FRESH_ALLOCS.with(|c| c.set(c.get() + 1));
+            vec![value; len]
+        }
+    }
+}
+
+/// A `len`-element buffer whose contents are *unspecified* (stale values
+/// from a retired buffer, or zeros when freshly allocated). The caller must
+/// overwrite every entry before the buffer is observable.
+pub(crate) fn alloc_overwritten(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    match take_recycled(len) {
+        Some(buf) => buf,
+        None => {
+            FRESH_ALLOCS.with(|c| c.set(c.get() + 1));
+            vec![0.0; len]
+        }
+    }
+}
+
+/// A buffer holding a copy of `src`, recycled when possible.
+pub(crate) fn alloc_copied(src: &[f32]) -> Vec<f32> {
+    let mut buf = alloc_overwritten(src.len());
+    buf.copy_from_slice(src);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycling_roundtrips_and_counts() {
+        reset_alloc_counters();
+        BufferPool::new().install();
+        let a = Matrix::zeros(3, 4);
+        recycle(a);
+        let b = Matrix::full(4, 3, 2.5); // same element count → pool hit
+        assert!(b.as_slice().iter().all(|&v| v == 2.5), "recycled buffer not re-filled");
+        let (fresh, hits) = alloc_counters();
+        assert_eq!((fresh, hits), (1, 1));
+        let pool = BufferPool::uninstall().expect("pool was installed above");
+        assert_eq!(pool.held_buffers(), 0);
+    }
+
+    #[test]
+    fn no_pool_means_fresh_allocations() {
+        assert!(!BufferPool::is_installed());
+        reset_alloc_counters();
+        let a = Matrix::zeros(2, 2);
+        recycle(a); // dropped, not pooled
+        let _b = Matrix::zeros(2, 2);
+        let (fresh, hits) = alloc_counters();
+        assert_eq!((fresh, hits), (2, 0));
+    }
+
+    #[test]
+    fn pooled_values_are_bit_identical_to_fresh() {
+        let fresh = Matrix::from_fn(5, 5, |r, c| (r * 7 + c) as f32 * 0.3);
+        BufferPool::new().install();
+        recycle(Matrix::full(5, 5, f32::NAN)); // poison the bucket
+        let pooled = Matrix::from_fn(5, 5, |r, c| (r * 7 + c) as f32 * 0.3);
+        let _ = BufferPool::uninstall();
+        assert_eq!(fresh, pooled, "pooled from_fn must fully overwrite stale storage");
+    }
+}

@@ -201,7 +201,93 @@ mod static_analysis {
         let e = tr.exp(wv);
         let loss = tr.mean_all(e);
         let report = audit(&tr, loss, &[], &params);
-        assert!(report.has(DiagnosticKind::UnstableExp), "no stability hazard reported:\n{report}");
+        assert!(report.has(DiagnosticKind::UnstableDomain), "no stability hazard reported:\n{report}");
+    }
+
+    #[test]
+    fn detects_unstable_ln() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        // sigmoid is non-negative but underflows to exact 0.0, so ln of it
+        // is not provably safe without the +ε idiom.
+        let s = tr.sigmoid(wv);
+        let l = tr.ln(s);
+        let loss = tr.mean_all(l);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.has(DiagnosticKind::UnstableDomain), "no ln-domain hazard reported:\n{report}");
+    }
+
+    #[test]
+    fn ln_with_epsilon_is_accepted() {
+        // The fix: ln(x + ε) with x ≥ 0 and ε > 0 is bounded away from zero.
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        let s = tr.sigmoid(wv);
+        let safe = tr.add_scalar(s, 1e-8);
+        let l = tr.ln(safe);
+        let loss = tr.mean_all(l);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.is_clean(), "ln(x + eps) should be clean:\n{report}");
+    }
+
+    #[test]
+    fn detects_unstable_div() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        let num = tr.sigmoid(wv);
+        // Dividing by a softmax: rows underflow to exact zeros under drift.
+        let den = tr.softmax_rows(wv);
+        let q = tr.div(num, den);
+        let loss = tr.mean_all(q);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.has(DiagnosticKind::UnstableDomain), "no div-domain hazard reported:\n{report}");
+    }
+
+    #[test]
+    fn div_by_shifted_denominator_is_accepted() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        let num = tr.sigmoid(wv);
+        let den_raw = tr.softmax_rows(wv);
+        let den = tr.add_scalar(den_raw, 1e-8);
+        let q = tr.div(num, den);
+        let loss = tr.mean_all(q);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.is_clean(), "div by (x + eps) should be clean:\n{report}");
+    }
+
+    #[test]
+    fn detects_unstable_sqrt() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        // sqrt of a raw parameter: NaN for any negative entry.
+        let wv = tr.param(&params, w);
+        let r = tr.sqrt(wv);
+        let loss = tr.mean_all(r);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.has(DiagnosticKind::UnstableDomain), "no sqrt-domain hazard reported:\n{report}");
+    }
+
+    #[test]
+    fn sqrt_of_nonneg_is_accepted() {
+        let mut params = ParamSet::new();
+        let w = leaf(&mut params, "w", 4, 4);
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        let sq = tr.mul(wv, wv);
+        let r = tr.sqrt(sq);
+        let loss = tr.mean_all(r);
+        let report = audit(&tr, loss, &[], &params);
+        assert!(report.is_clean(), "sqrt of a square should be clean:\n{report}");
     }
 
     #[test]
