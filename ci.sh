@@ -1,24 +1,28 @@
 #!/usr/bin/env bash
 # CI gate: static analysis first (cheap, catches graph/source problems
 # before any training step), then the full build + test suite with
-# warnings denied, then the memory-plan regression gate.
+# warnings denied, then the memory-plan and training-throughput
+# regression gates.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== [1/5] source lints (dgnn-analysis lint harness) ==="
+echo "=== [1/6] source lints (dgnn-analysis lint harness) ==="
 cargo run -q -p dgnn-analysis --bin lint .
 
-echo "=== [2/5] compute-graph audit (ShapeTracer over DGNN + baselines) ==="
+echo "=== [2/6] compute-graph audit (ShapeTracer over DGNN + baselines) ==="
 cargo test -q -p dgnn-analysis
 cargo test -q -p dgnn-integration-tests --test ablation_shape static_analysis
 
-echo "=== [3/5] release build (warnings denied) ==="
+echo "=== [3/6] release build (warnings denied) ==="
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
 
-echo "=== [4/5] full test suite ==="
+echo "=== [4/6] full test suite ==="
 cargo test -q --workspace
 
-echo "=== [5/5] memory-plan peak-live-bytes regression gate ==="
+echo "=== [5/6] memory-plan peak-live-bytes regression gate ==="
 cargo run -q --release -p dgnn-bench --bin memplan -- --check analysis-baseline.json
+
+echo "=== [6/6] training steps/sec regression gate (profiled) ==="
+cargo run -q --release -p dgnn-bench --bin profile -- --check BENCH_profile.json
 
 echo "CI_OK"

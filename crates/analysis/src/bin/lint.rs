@@ -11,6 +11,11 @@
 //! 6. `.clone()` inside the planned tape executor (`autograd/src/tape.rs`)
 //!    needs a nearby `// PLAN:` comment justifying why the copy cannot be
 //!    recycled through the memory plan.
+//! 7. no ad-hoc timing or printing in the training hot path: `Instant`
+//!    and `println!` inside `crates/core/src` or `crates/autograd/src`
+//!    need a nearby `// OBS:` comment — instrumentation belongs in
+//!    `dgnn-obs` spans/metrics so it shows up in exported traces and can
+//!    be disabled globally.
 //!
 //! `target/` and `third_party/` directories are never scanned.
 //!
@@ -45,6 +50,8 @@ struct Needles {
     todo: String,
     fixme: String,
     clone: String,
+    instant: String,
+    println: String,
 }
 
 impl Needles {
@@ -56,6 +63,8 @@ impl Needles {
             todo: format!("TO{}", "DO"),
             fixme: format!("FIX{}", "ME"),
             clone: format!(".clo{}(", "ne"),
+            instant: format!("Inst{}", "ant"),
+            println: format!("print{}!", "ln"),
         }
     }
 }
@@ -265,6 +274,15 @@ fn lint_file(
     // Rule 6 applies only inside the planned tape executor, where every
     // matrix copy is a hole in the memory plan unless justified.
     let plan_clone_scope = file.ends_with(Path::new("autograd/src/tape.rs"));
+    // Rule 7 applies to the training hot path: core and autograd must route
+    // timing and output through dgnn-obs, never roll their own.
+    let obs_scope = ["core", "autograd"].iter().any(|c| {
+        let marker: PathBuf = ["crates", c, "src"].iter().collect();
+        file.components()
+            .collect::<Vec<_>>()
+            .windows(3)
+            .any(|w| w.iter().map(|c| c.as_os_str()).eq(marker.iter()))
+    });
     // Track `#[cfg(test)]`-gated regions by brace depth: everything between
     // the attribute's following `{` and its matching `}` is test code where
     // unwrap/expect/panic are idiomatic.
@@ -347,6 +365,23 @@ fn lint_file(
                     .to_string(),
             });
         }
+        if obs_scope && !has_marker(&lines, i, "OBS:") {
+            for (needle, what) in
+                [(&needles.instant, "Instant timing"), (&needles.println, "println! output")]
+            {
+                if code.contains(needle.as_str()) {
+                    violations.push(Violation {
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        rule: "obs-instrumentation",
+                        detail: format!(
+                            "ad-hoc {what} in the training hot path without a nearby \
+                             // OBS: comment; route it through dgnn-obs spans/metrics"
+                        ),
+                    });
+                }
+            }
+        }
         if contains_unsafe_keyword(&code) && !has_marker(&lines, i, "SAFETY:") {
             violations.push(Violation {
                 file: file.to_path_buf(),
@@ -400,6 +435,29 @@ mod tests {
         assert!(contains_unsafe_keyword("unsafe { }"));
         assert!(!contains_unsafe_keyword("let not_unsafe_name = 1;"));
         assert!(!contains_unsafe_keyword("unsafety"));
+    }
+
+    #[test]
+    fn obs_rule_fires_only_in_hot_path_scope() {
+        let needles = Needles::new();
+        let text = format!("let t = std::time::{}::now();\n", needles.instant);
+        let hot = Path::new("crates/core/src/training.rs");
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        lint_file(hot, &text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "obs-instrumentation");
+
+        // An OBS: marker within the window justifies the use.
+        violations.clear();
+        let justified = format!("// OBS: one-shot startup cost, not a training loop\n{text}");
+        lint_file(hot, &justified, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty());
+
+        // Outside core/autograd the same line is fine.
+        violations.clear();
+        lint_file(Path::new("crates/bench/src/lib.rs"), &text, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty());
     }
 
     #[test]

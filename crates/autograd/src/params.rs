@@ -108,15 +108,29 @@ impl ParamSet {
         self.params.iter().map(|p| p.grad.sq_norm()).sum::<f32>().sqrt()
     }
 
-    /// Rescales all gradients so the global norm is at most `max_norm`.
-    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+    /// Rescales all gradients so the global norm is at most `max_norm`, and
+    /// returns the **pre-clip** norm — the number training loops record
+    /// into the `grad_norm/preclip` histogram.
+    ///
+    /// A non-finite norm (any NaN/∞ in a gradient) is never "clipped":
+    /// scaling by `max_norm / norm` would turn every gradient into NaN (or,
+    /// for ∞, silently zero the whole step, which older versions did). The
+    /// `grad_nonfinite` counter is bumped instead and gradients are left
+    /// untouched, so the corruption stays visible to the caller rather than
+    /// being laundered into a plausible-looking update.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();
+        if !norm.is_finite() {
+            dgnn_obs::counter_add("grad_nonfinite", 1);
+            return norm;
+        }
         if norm > max_norm && norm > 0.0 {
             let k = max_norm / norm;
             for p in &mut self.params {
                 p.grad.scale_assign(k);
             }
         }
+        norm
     }
 
     /// All parameter handles, in registration order.
@@ -161,13 +175,32 @@ mod tests {
     }
 
     #[test]
-    fn clip_grad_norm_caps_global_norm() {
+    fn clip_grad_norm_caps_global_norm_and_returns_preclip() {
         let mut set = ParamSet::new();
         let a = set.add("p", Matrix::zeros(1, 2));
         set.accumulate_grad(a, &Matrix::row_vector(&[3.0, 4.0]));
-        set.clip_grad_norm(1.0);
+        let pre = set.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-5, "must return the norm before clipping");
         assert!((set.grad_norm() - 1.0).abs() < 1e-5);
         assert!((set.grad(a).as_slice()[0] - 0.6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nonfinite_grad_norm_is_counted_not_scaled() {
+        let mut set = ParamSet::new();
+        let a = set.add("p", Matrix::zeros(1, 2));
+        set.accumulate_grad(a, &Matrix::row_vector(&[f32::INFINITY, 1.0]));
+        dgnn_obs::reset();
+        dgnn_obs::enable();
+        let norm = set.clip_grad_norm(1.0);
+        dgnn_obs::disable();
+        let snap = dgnn_obs::snapshot();
+        dgnn_obs::reset();
+        assert!(norm.is_infinite());
+        assert_eq!(snap.counters["grad_nonfinite"], 1);
+        // Finite entries survive unscaled: the old behavior multiplied the
+        // whole set by max_norm/∞ = 0, silently erasing the step.
+        assert_eq!(set.grad(a).as_slice()[1], 1.0);
     }
 
     #[test]

@@ -136,9 +136,15 @@ impl PlanHarness {
     /// and returns the loss value.
     pub fn step<F: FnOnce(&mut Tape) -> Var>(&mut self, params: &mut ParamSet, record: F) -> f32 {
         let mut tape = self.begin_step();
-        let loss = record(&mut tape);
+        let loss = {
+            let _fwd = dgnn_obs::span("forward");
+            record(&mut tape)
+        };
         params.zero_grads();
-        let l = tape.backward_into(loss, params);
+        let l = {
+            let _bwd = dgnn_obs::span("backward");
+            tape.backward_into(loss, params)
+        };
         self.end_step(tape);
         l
     }

@@ -75,6 +75,53 @@ enum Op {
     Dropout { a: Var, mask: Matrix },
 }
 
+impl Op {
+    /// Portable op-kind name, matching [`crate::meta::ALL_OPS`] — the key
+    /// under which `dgnn-obs` aggregates this op's profile, chosen so a
+    /// profile row lines up with the static analyzer's view of the graph.
+    fn kind(&self) -> &'static str {
+        match self {
+            Op::Leaf { param: Some(_) } => "param",
+            Op::Leaf { param: None } => "constant",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Neg(..) => "neg",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::MatMul(..) => "matmul",
+            Op::Transpose(..) => "transpose",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Relu(..) => "relu",
+            Op::Exp(..) => "exp",
+            Op::Softplus(..) => "softplus",
+            Op::Ln(..) => "ln",
+            Op::Div(..) => "div",
+            Op::Sqrt(..) => "sqrt",
+            Op::AddRow(..) => "add_row",
+            Op::MulRow(..) => "mul_row",
+            Op::MulCol(..) => "mul_col",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::RowSum(..) => "row_sum",
+            Op::ColMean(..) => "col_mean",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::Gather { .. } => "gather",
+            Op::Spmm { .. } => "spmm",
+            Op::LayerNormRow { .. } => "layer_norm_rows",
+            Op::RowL2Norm { .. } => "l2_normalize_rows",
+            Op::RowDots(..) => "row_dots",
+            Op::SoftmaxRows(..) => "softmax_rows",
+            Op::SegmentSoftmax { .. } => "segment_softmax",
+            Op::SegmentWeightedSum { .. } => "segment_weighted_sum",
+            Op::Dropout { .. } => "dropout",
+        }
+    }
+}
+
 struct Node {
     op: Op,
     value: Matrix,
@@ -101,17 +148,33 @@ struct Node {
 /// last consumer is a forward op) and during [`Tape::backward_into`]
 /// (values last read by a gradient rule). Planned and unplanned execution
 /// are bit-identical; the plan only changes *when storage is reused*.
-#[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     finite_checks: bool,
     plan: Option<Rc<TapePlan>>,
+    /// `Some(mark)` while per-op profiling is armed (observability enabled
+    /// at construction): the timestamp of the previous op boundary.
+    /// Forward durations are *inter-push deltas* — everything since the
+    /// last boundary is attributed to the op being pushed — so one clock
+    /// read per op covers compute that happens in the `Recorder` methods
+    /// before `push` runs.
+    obs_mark: Option<u64>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape. Per-op profiling is armed here iff
+    /// [`dgnn_obs::is_enabled`] at this moment; a tape built while
+    /// observability is off stays unobserved for its whole life, keeping
+    /// each step's profile internally consistent.
     pub fn new() -> Self {
-        Self::default()
+        let obs_mark = dgnn_obs::is_enabled().then(dgnn_obs::now_ns);
+        Self { nodes: Vec::new(), finite_checks: false, plan: None, obs_mark }
     }
 
     /// Arms a memory plan: as recording and backward proceed, node values
@@ -176,6 +239,11 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
+        if let Some(mark) = self.obs_mark {
+            let now = dgnn_obs::now_ns();
+            dgnn_obs::record_op(op.kind(), dgnn_obs::OpPhase::Forward, now.saturating_sub(mark));
+            self.obs_mark = Some(now);
+        }
         if self.finite_checks {
             assert!(value.all_finite(), "non-finite value produced by {op:?}");
         } else {
@@ -253,7 +321,7 @@ impl Tape {
         grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
         for i in (0..=loss.0).rev() {
             if let Some(g) = grads[i].take() {
-                self.backprop_node(i, &g, &mut grads);
+                self.backprop_node_observed(i, &g, &mut grads);
                 if matches!(self.nodes[i].op, Op::Leaf { param: Some(_) }) {
                     // Kept until the ascending accumulation pass below.
                     grads[i] = Some(g);
@@ -284,7 +352,7 @@ impl Tape {
         grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
         for i in (0..=loss.0).rev() {
             let Some(g) = grads[i].take() else { continue };
-            self.backprop_node(i, &g, &mut grads);
+            self.backprop_node_observed(i, &g, &mut grads);
             grads[i] = Some(g);
         }
         grads
@@ -293,6 +361,22 @@ impl Tape {
     /// Gradient of `loss` w.r.t. one variable (convenience for tests).
     pub fn grad_of(&self, loss: Var, wrt: Var) -> Option<Matrix> {
         self.backward(loss).into_iter().nth(wrt.0).flatten()
+    }
+
+    /// Runs one node's backward rule, timing it when profiling is armed.
+    /// Backward durations are exact per-rule measurements (unlike the
+    /// forward pass's inter-push deltas): the rule runs between two clock
+    /// reads with nothing else in the interval.
+    fn backprop_node_observed(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        match self.obs_mark {
+            Some(_) => {
+                let t0 = dgnn_obs::now_ns();
+                self.backprop_node(i, g, grads);
+                let dt = dgnn_obs::now_ns().saturating_sub(t0);
+                dgnn_obs::record_op(self.nodes[i].op.kind(), dgnn_obs::OpPhase::Backward, dt);
+            }
+            None => self.backprop_node(i, g, grads),
+        }
     }
 
     fn accum(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
@@ -934,6 +1018,49 @@ mod tests {
         let mut t = Tape::new();
         let a = t.constant(Matrix::row_vector(&[1.0, 2.0]));
         t.backward(a);
+    }
+
+    #[test]
+    fn observed_tape_profiles_ops_under_meta_names() {
+        dgnn_obs::reset();
+        dgnn_obs::enable();
+        let mut params = ParamSet::new();
+        let p = params.add("w", Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.1));
+        let mut t = Tape::new();
+        let v = t.param(&params, p);
+        let vt = t.transpose(v);
+        let prod = t.matmul(v, vt);
+        let loss = t.sum_all(prod);
+        params.zero_grads();
+        let _ = t.backward_into(loss, &mut params);
+        dgnn_obs::disable();
+        let snap = dgnn_obs::snapshot();
+        dgnn_obs::reset();
+        for kind in snap.ops.keys() {
+            assert!(
+                crate::meta::ALL_OPS.contains(&kind.as_str()),
+                "op kind {kind} is not a meta::ALL_OPS name"
+            );
+        }
+        let mm = &snap.ops["matmul"];
+        assert_eq!((mm.forward.calls, mm.backward.calls), (1, 1));
+        assert_eq!(snap.ops["param"].forward.calls, 1);
+        assert!(snap.ops["sum_all"].backward.calls == 1);
+    }
+
+    #[test]
+    fn unobserved_tape_records_no_profile() {
+        dgnn_obs::reset();
+        let mut t = Tape::new(); // built while disabled → never observed
+        dgnn_obs::enable();
+        let a = t.constant(Matrix::row_vector(&[1.0, 2.0]));
+        let s = t.add(a, a);
+        let loss = t.mean_all(s);
+        let _ = t.backward(loss);
+        dgnn_obs::disable();
+        let snap = dgnn_obs::snapshot();
+        dgnn_obs::reset();
+        assert!(snap.ops.is_empty(), "tape built while disabled must not profile");
     }
 
     #[test]

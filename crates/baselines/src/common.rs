@@ -116,23 +116,40 @@ pub(crate) fn train_loop(
     let batches = sampler.num_positives().div_ceil(batch_size).max(1);
     let mut losses = Vec::with_capacity(epochs);
     for _ in 0..epochs {
+        let _epoch_span = dgnn_obs::span("epoch");
         let mut epoch_loss = 0.0;
         for _ in 0..batches {
+            let _batch_span = dgnn_obs::span("batch");
             let triples = sampler.batch(&mut rng, batch_size);
             let mut tape = match harness.as_mut() {
                 Some(h) => h.begin_step(),
                 None => Tape::new(),
             };
-            let loss = forward(&mut tape, params, &triples, &mut rng);
+            let loss = {
+                let _fwd = dgnn_obs::span("forward");
+                forward(&mut tape, params, &triples, &mut rng)
+            };
             params.zero_grads();
-            epoch_loss += tape.backward_into(loss, params);
-            params.clip_grad_norm(50.0);
-            adam.step(params);
+            {
+                let _bwd = dgnn_obs::span("backward");
+                epoch_loss += tape.backward_into(loss, params);
+            }
+            {
+                let _opt_span = dgnn_obs::span("optimizer");
+                let pre = params.clip_grad_norm(50.0);
+                dgnn_obs::hist_record("grad_norm/preclip", f64::from(pre));
+                if pre.is_finite() {
+                    dgnn_obs::hist_record("grad_norm/postclip", f64::from(pre.min(50.0)));
+                }
+                adam.step(params);
+            }
             if let Some(h) = harness.as_mut() {
                 h.end_step(tape);
             }
         }
-        losses.push(epoch_loss / batches as f32);
+        let mean = epoch_loss / batches as f32;
+        dgnn_obs::hist_record("epoch_mean_loss", f64::from(mean));
+        losses.push(mean);
     }
     losses
 }

@@ -185,6 +185,7 @@ impl Dgcf {
         seed: u64,
         rec: &mut R,
     ) -> (ParamSet, Var) {
+        let _span = dgnn_obs::span("DGCF/trace_step");
         let (params, st) = dgcf_build_state(cfg, data, seed);
         let (users, items) = dgcf_forward(&st, cfg.dim, rec, &params);
         let loss = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));
@@ -214,25 +215,41 @@ impl Dgcf {
         });
         self.loss_history.clear();
         for epoch in 0..self.cfg.epochs {
+            let _epoch_span = dgnn_obs::span("epoch");
             let mut epoch_loss = 0.0;
             for _ in 0..batches {
+                let _batch_span = dgnn_obs::span("batch");
                 let triples = sampler.batch(&mut rng, self.cfg.batch_size);
                 let mut tape = match harness.as_mut() {
                     Some(h) => h.begin_step(),
                     None => Tape::new(),
                 };
-                let (users, items) = dgcf_forward(&st, d, &mut tape, &params);
-                let loss = bpr_from_embeddings(&mut tape, users, items, &BatchIdx::new(&triples));
+                let loss = {
+                    let _fwd = dgnn_obs::span("forward");
+                    let (users, items) = dgcf_forward(&st, d, &mut tape, &params);
+                    bpr_from_embeddings(&mut tape, users, items, &BatchIdx::new(&triples))
+                };
                 params.zero_grads();
-                epoch_loss += tape.backward_into(loss, &mut params);
-                params.clip_grad_norm(50.0);
-                use dgnn_autograd::Optimizer;
-                adam.step(&mut params);
+                {
+                    let _bwd = dgnn_obs::span("backward");
+                    epoch_loss += tape.backward_into(loss, &mut params);
+                }
+                {
+                    let _opt_span = dgnn_obs::span("optimizer");
+                    let pre = params.clip_grad_norm(50.0);
+                    dgnn_obs::hist_record("grad_norm/preclip", f64::from(pre));
+                    if pre.is_finite() {
+                        dgnn_obs::hist_record("grad_norm/postclip", f64::from(pre.min(50.0)));
+                    }
+                    use dgnn_autograd::Optimizer;
+                    adam.step(&mut params);
+                }
                 if let Some(h) = harness.as_mut() {
                     h.end_step(tape);
                 }
             }
             let mean = epoch_loss / batches as f32;
+            dgnn_obs::hist_record("epoch_mean_loss", f64::from(mean));
             self.loss_history.push(mean);
             let mut tape = Tape::new();
             let (users, items) = dgcf_forward(&st, d, &mut tape, &params);
@@ -428,6 +445,7 @@ impl DisenHan {
         seed: u64,
         rec: &mut R,
     ) -> (ParamSet, Var) {
+        let _span = dgnn_obs::span("DisenHAN/trace_step");
         let (params, st) = disen_build_state(cfg, data, seed);
         let (users, items) = disen_forward(&st, cfg.dim, rec, &params);
         let loss = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));

@@ -159,19 +159,33 @@ impl Hgt {
         let batches = sampler.num_positives().div_ceil(self.cfg.batch_size).max(1);
         self.loss_history.clear();
         for epoch in 0..self.cfg.epochs {
+            let _epoch_span = dgnn_obs::span("epoch");
             let mut epoch_loss = 0.0;
             for _ in 0..batches {
+                let _batch_span = dgnn_obs::span("batch");
                 let triples = sampler.batch(&mut rng, self.cfg.batch_size);
                 let mut tape = Tape::new();
-                let (users, items) = forward(&st, layers, dim, &mut tape, &params);
-                let loss = bpr_from_embeddings(&mut tape, users, items, &BatchIdx::new(&triples));
+                let loss = {
+                    let _fwd = dgnn_obs::span("forward");
+                    let (users, items) = forward(&st, layers, dim, &mut tape, &params);
+                    bpr_from_embeddings(&mut tape, users, items, &BatchIdx::new(&triples))
+                };
                 params.zero_grads();
-                epoch_loss += tape.backward_into(loss, &mut params);
-                params.clip_grad_norm(50.0);
+                {
+                    let _bwd = dgnn_obs::span("backward");
+                    epoch_loss += tape.backward_into(loss, &mut params);
+                }
+                let _opt_span = dgnn_obs::span("optimizer");
+                let pre = params.clip_grad_norm(50.0);
+                dgnn_obs::hist_record("grad_norm/preclip", f64::from(pre));
+                if pre.is_finite() {
+                    dgnn_obs::hist_record("grad_norm/postclip", f64::from(pre.min(50.0)));
+                }
                 use dgnn_autograd::Optimizer;
                 adam.step(&mut params);
             }
             let mean = epoch_loss / batches as f32;
+            dgnn_obs::hist_record("epoch_mean_loss", f64::from(mean));
             self.loss_history.push(mean);
             let mut tape = Tape::new();
             let (users, items) = forward(&st, layers, dim, &mut tape, &params);

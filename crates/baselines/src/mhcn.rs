@@ -243,6 +243,7 @@ impl Mhcn {
         seed: u64,
         rec: &mut R,
     ) -> (ParamSet, Var) {
+        let _span = dgnn_obs::span("MHCN/trace_step");
         let (params, st) = build_state(cfg, data, seed);
         let (users, items, channel_embs) = forward(&st, cfg.layers, rec, &params);
         let bpr = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));

@@ -216,6 +216,7 @@ macro_rules! cf_public_wrapper {
                 seed: u64,
                 rec: &mut R,
             ) -> (ParamSet, Var) {
+                let _span = dgnn_obs::span(concat!(stringify!($name), "/trace_step"));
                 let (params, st) = build_state($variant, cfg, data, seed);
                 let (users, items) = forward(&st, $variant, cfg.layers, rec, &params);
                 let loss = bpr_from_embeddings(rec, users, items, &BatchIdx::new(triples));

@@ -144,31 +144,38 @@ fn rows(data: &Dataset) -> Vec<Row> {
     out
 }
 
+/// Publishes each row's static-plan statistics as `memplan/<model>/<stat>`
+/// gauges in the obs registry and serializes the resulting snapshot —
+/// the same code path (`dgnn_obs::export::snapshot_to_json`) behind the
+/// `profile` binary's `BENCH_profile.json`, so the two artifacts share one
+/// schema and one serializer.
 fn baseline_json(rows: &[Row]) -> String {
-    let mut s = String::from("{\n  \"models\": {\n");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        s.push_str(&format!(
-            "    \"{}\": {{\"nodes\": {}, \"num_buffers\": {}, \"peak_live_bytes\": {}, \
-             \"total_value_bytes\": {}}}{sep}\n",
-            r.name,
-            r.plan.num_nodes(),
-            r.plan.num_buffers(),
-            r.plan.peak_live_bytes(),
-            r.plan.total_value_bytes(),
-        ));
+    dgnn_obs::reset();
+    dgnn_obs::enable();
+    for r in rows {
+        let set = |stat: &str, v: u64| {
+            dgnn_obs::gauge_set(&format!("memplan/{}/{stat}", r.name), v as f64);
+        };
+        set("nodes", r.plan.num_nodes() as u64);
+        set("num_buffers", r.plan.num_buffers() as u64);
+        set("peak_live_bytes", r.plan.peak_live_bytes() as u64);
+        set("total_value_bytes", r.plan.total_value_bytes() as u64);
     }
-    s.push_str("  }\n}\n");
+    dgnn_obs::disable();
+    let snap = dgnn_obs::snapshot();
+    dgnn_obs::reset();
+    let mut s = dgnn_obs::export::snapshot_to_json(&snap, 0);
+    s.push('\n');
     s
 }
 
-/// Pulls `"model": {... "peak_live_bytes": N ...}` out of the baseline
-/// file. The file is machine-written by `--write` in a fixed shape, so a
+/// Pulls the `memplan/<model>/peak_live_bytes` gauge out of the baseline
+/// file. The file is machine-written by `--write` through the snapshot
+/// serializer (integral gauges print without a decimal point), so a
 /// targeted scan beats a full JSON parser here.
 fn baseline_peak(json: &str, model: &str) -> Option<u64> {
-    let obj = &json[json.find(&format!("\"{model}\""))?..];
-    let obj = &obj[..obj.find('}')? + 1];
-    let tail = &obj[obj.find("\"peak_live_bytes\"")? + "\"peak_live_bytes\"".len()..];
+    let key = format!("\"memplan/{model}/peak_live_bytes\"");
+    let tail = &json[json.find(&key)? + key.len()..];
     let digits: String =
         tail.chars().skip_while(|c| !c.is_ascii_digit()).take_while(char::is_ascii_digit).collect();
     digits.parse().ok()

@@ -1,0 +1,243 @@
+//! **Training profiler**: per-phase and per-op-kind timing for DGNN and
+//! two baselines, driven entirely by the `dgnn-obs` instrumentation.
+//!
+//! Trains DGNN, NGCF, and DGCF on the tiny dataset with quick configs
+//! (planned execution, so the pool counters are exercised too) with
+//! observability enabled, then writes:
+//!
+//! * `BENCH_profile.json` — one metrics snapshot per model (steps/sec,
+//!   per-phase span totals, allocation counters, gradient-norm histograms,
+//!   per-op forward/backward profiles), serialized by the same
+//!   `snapshot_to_json` code path as `memplan`'s `analysis-baseline.json`;
+//! * `results/profile_trace.json` — a Chrome trace-event file (open in
+//!   Perfetto or `chrome://tracing`; one labeled track per model);
+//! * `results/profile_events.jsonl` — the raw span events, one per line.
+//!
+//! ```text
+//! profile                     profile + write the artifacts above
+//! profile --check PATH        no artifacts; exit 1 if DGNN steps/sec
+//!                             regressed >25% vs. the baseline snapshot
+//! ```
+//!
+//! The `--check` budget is deliberately loose: steps/sec is machine- and
+//! load-dependent, so the gate only catches large regressions (an op gone
+//! accidentally quadratic, observability left enabled in a hot path), not
+//! single-digit noise.
+
+use std::process::ExitCode;
+
+use dgnn_baselines::{BaselineConfig, Dgcf, Ngcf};
+use dgnn_bench::run_cell;
+use dgnn_core::{Dgnn, DgnnConfig};
+use dgnn_data::{tiny, Dataset, TrainSampler};
+use dgnn_eval::Trainable;
+use dgnn_obs::export::{chrome_trace, events_to_jsonl, snapshot_to_json, span_totals};
+use dgnn_obs::{SpanEvent, Snapshot};
+use dgnn_tensor::{alloc_counters, reset_alloc_counters};
+
+/// Seed shared with the rest of the experiment harness.
+const SEED: u64 = 2023;
+/// Allowed relative drop of DGNN steps/sec before `--check` fails.
+const REGRESSION_BUDGET: f64 = 0.25;
+
+fn quick_baseline() -> BaselineConfig {
+    BaselineConfig {
+        dim: 8,
+        layers: 2,
+        epochs: 4,
+        batch_size: 256,
+        ..Default::default()
+    }
+    .with_memory_plan()
+}
+
+fn quick_dgnn() -> DgnnConfig {
+    DgnnConfig {
+        dim: 8,
+        layers: 2,
+        memory_units: 4,
+        epochs: 4,
+        batch_size: 256,
+        ..Default::default()
+    }
+    .with_memory_plan()
+}
+
+/// One profiled model: its metrics snapshot and raw span events.
+struct Profile {
+    name: &'static str,
+    snapshot: Snapshot,
+    events: Vec<SpanEvent>,
+    steps_per_sec: f64,
+}
+
+/// Trains `model` with observability enabled and captures everything the
+/// instrumentation recorded. `steps` is epochs × batches/epoch, the
+/// denominator-free step count for the steps/sec gauge.
+///
+/// `sps_disabled` (DGNN only) is the steps/sec of an identical run made
+/// with observability off, recorded as a gauge so the exported snapshot
+/// documents the measured observer overhead next to the enabled figure.
+fn profile_model(
+    name: &'static str,
+    model: &mut dyn Trainable,
+    data: &Dataset,
+    steps: u64,
+    sps_disabled: Option<f64>,
+) -> Profile {
+    dgnn_obs::reset();
+    dgnn_obs::enable();
+    reset_alloc_counters();
+    let cell = run_cell(model, data, SEED);
+    let (fresh, hits) = alloc_counters();
+    let events = dgnn_obs::take_events();
+    let steps_per_sec = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
+    dgnn_obs::counter_add("alloc/fresh", fresh);
+    dgnn_obs::counter_add("alloc/pool_hits", hits);
+    dgnn_obs::gauge_set("profile/steps", steps as f64);
+    dgnn_obs::gauge_set("profile/steps_per_sec", steps_per_sec);
+    dgnn_obs::gauge_set("profile/train_s", cell.train_time.as_secs_f64());
+    dgnn_obs::gauge_set("profile/eval_s", cell.eval_time.as_secs_f64());
+    if let Some(sps) = sps_disabled {
+        dgnn_obs::gauge_set("profile/steps_per_sec_disabled", sps);
+    }
+    for (phase, (count, total_ns)) in span_totals(&events) {
+        dgnn_obs::gauge_set(&format!("phase/{phase}/count"), count as f64);
+        dgnn_obs::gauge_set(&format!("phase/{phase}/total_ns"), total_ns as f64);
+    }
+    let snapshot = dgnn_obs::snapshot();
+    dgnn_obs::disable();
+    dgnn_obs::reset();
+    Profile { name, snapshot, events, steps_per_sec }
+}
+
+/// Text trace summary: per-phase totals and the heaviest op kinds.
+fn print_summary(p: &Profile) {
+    println!("\n--- {} ({:.1} steps/s) ---", p.name, p.steps_per_sec);
+    println!("{:<12} {:>8} {:>12}", "Phase", "Count", "Total ms");
+    for (phase, (count, total_ns)) in span_totals(&p.events) {
+        println!("{:<12} {:>8} {:>12.1}", phase, count, total_ns as f64 / 1e6);
+    }
+    let mut ops: Vec<_> = p.snapshot.ops.iter().collect();
+    ops.sort_by_key(|(_, o)| std::cmp::Reverse(o.forward.total_ns + o.backward.total_ns));
+    println!("{:<22} {:>8} {:>11} {:>8} {:>11}", "Op (top 5)", "Fwd", "Fwd ms", "Bwd", "Bwd ms");
+    for (kind, o) in ops.iter().take(5) {
+        println!(
+            "{:<22} {:>8} {:>11.1} {:>8} {:>11.1}",
+            kind,
+            o.forward.calls,
+            o.forward.total_ns as f64 / 1e6,
+            o.backward.calls,
+            o.backward.total_ns as f64 / 1e6,
+        );
+    }
+}
+
+fn profile_json(profiles: &[Profile]) -> String {
+    let mut s = String::from("{\n  \"models\": {\n");
+    for (i, p) in profiles.iter().enumerate() {
+        let sep = if i + 1 < profiles.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {}{sep}\n",
+            p.name,
+            snapshot_to_json(&p.snapshot, 4).trim_start()
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Pulls a model's `profile/steps_per_sec` gauge out of a baseline file —
+/// same targeted-scan approach as `memplan`'s check, extended to the
+/// fractional values a rate gauge carries.
+fn baseline_steps_per_sec(json: &str, model: &str) -> Option<f64> {
+    let obj = &json[json.find(&format!("\"{model}\""))?..];
+    let key = "\"profile/steps_per_sec\"";
+    let tail = &obj[obj.find(key)? + key.len()..];
+    let number: String = tail
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    number.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_path = args.iter().position(|a| a == "--check").map(|i| {
+        // PANICS: a trailing --check with no path is an operator error on
+        // the command line; there is nothing to recover.
+        args.get(i + 1).unwrap_or_else(|| panic!("profile: --check requires a path argument"))
+    });
+
+    let data = tiny(SEED);
+    let bcfg = quick_baseline();
+    let dcfg = quick_dgnn();
+    let batches =
+        TrainSampler::new(&data.graph).num_positives().div_ceil(bcfg.batch_size).max(1);
+    let steps = (batches * bcfg.epochs) as u64;
+
+    // Reference run with observability off (DGNN only): its steps/sec is
+    // the denominator of the documented observer overhead. The untimed
+    // warm-up run first absorbs one-time costs (page faults, allocator
+    // growth) that would otherwise be billed to whichever run goes first.
+    dgnn_obs::disable();
+    run_cell(&mut Dgnn::new(dcfg.clone()), &data, SEED);
+    let cell = run_cell(&mut Dgnn::new(dcfg.clone()), &data, SEED);
+    let sps_disabled = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
+
+    println!("=== Training profile (tiny dataset, quick configs, planned) ===");
+    let mut profiles = Vec::new();
+    profiles.push(profile_model(
+        "DGNN",
+        &mut Dgnn::new(dcfg),
+        &data,
+        steps,
+        Some(sps_disabled),
+    ));
+    profiles.push(profile_model("NGCF", &mut Ngcf::new(bcfg.clone()), &data, steps, None));
+    profiles.push(profile_model("DGCF", &mut Dgcf::new(bcfg), &data, steps, None));
+    for p in &profiles {
+        print_summary(p);
+    }
+    let dgnn_sps = profiles[0].steps_per_sec;
+    println!(
+        "\nDGNN: {dgnn_sps:.1} steps/s observed vs {sps_disabled:.1} steps/s unobserved \
+         ({:+.1}% overhead)",
+        (sps_disabled / dgnn_sps.max(1e-9) - 1.0) * 100.0,
+    );
+
+    if let Some(path) = check_path {
+        let json = std::fs::read_to_string(path).expect("profile: reading baseline file");
+        let Some(base) = baseline_steps_per_sec(&json, "DGNN") else {
+            eprintln!("REGRESSION DGNN: profile/steps_per_sec missing from baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let floor = base * (1.0 - REGRESSION_BUDGET);
+        if dgnn_sps < floor {
+            eprintln!(
+                "REGRESSION DGNN: {dgnn_sps:.1} steps/s is more than {:.0}% below baseline \
+                 {base:.1} (floor {floor:.1})",
+                100.0 * REGRESSION_BUDGET,
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("steps/sec check passed against {path} ({dgnn_sps:.1} vs baseline {base:.1})");
+        return ExitCode::SUCCESS;
+    }
+
+    std::fs::write("BENCH_profile.json", profile_json(&profiles))
+        .expect("profile: writing BENCH_profile.json");
+    std::fs::create_dir_all("results").expect("profile: creating results dir");
+    let threads: Vec<(&str, &[SpanEvent])> =
+        profiles.iter().map(|p| (p.name, p.events.as_slice())).collect();
+    std::fs::write("results/profile_trace.json", chrome_trace(&threads))
+        .expect("profile: writing trace");
+    let jsonl: String = profiles.iter().map(|p| events_to_jsonl(&p.events)).collect();
+    std::fs::write("results/profile_events.jsonl", jsonl).expect("profile: writing jsonl");
+    println!(
+        "\nwrote BENCH_profile.json, results/profile_trace.json (load in Perfetto), \
+         results/profile_events.jsonl"
+    );
+    ExitCode::SUCCESS
+}

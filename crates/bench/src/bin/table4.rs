@@ -3,25 +3,19 @@
 //! datasets. The paper's claim under test: DGNN < DGCF < HGT in training
 //! time, with the gap growing with graph size.
 
-use std::time::Instant;
-
 use dgnn_baselines::{BaselineConfig, Dgcf, Hgt};
-use dgnn_bench::{baseline_config, datasets, dgnn_config, write_csv, SEED};
+use dgnn_bench::{baseline_config, datasets, dgnn_config, run_cell, write_csv, SEED};
 use dgnn_core::{Dgnn, DgnnConfig};
 use dgnn_data::Dataset;
-use dgnn_eval::{evaluate_at, Trainable};
+use dgnn_eval::Trainable;
 
 /// Epochs to average over.
 const TIMING_EPOCHS: usize = 3;
 
 fn time_model(model: &mut dyn Trainable, ds: &Dataset) -> (f64, f64) {
-    let t0 = Instant::now();
-    model.fit(ds, SEED);
-    let train_per_epoch = t0.elapsed().as_secs_f64() / TIMING_EPOCHS as f64;
-    let t1 = Instant::now();
-    let _ = evaluate_at(model, &ds.test, 10);
-    let test_time = t1.elapsed().as_secs_f64();
-    (train_per_epoch, test_time)
+    let cell = run_cell(model, ds, SEED);
+    let train_per_epoch = cell.train_time.as_secs_f64() / TIMING_EPOCHS as f64;
+    (train_per_epoch, cell.eval_time.as_secs_f64())
 }
 
 fn main() {

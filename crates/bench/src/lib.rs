@@ -11,7 +11,7 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dgnn_baselines::{all_models, BaselineConfig};
 use dgnn_core::DgnnConfig;
@@ -66,19 +66,19 @@ pub struct CellResult {
 }
 
 /// Trains `model` on `data` and evaluates at all cutoffs.
+///
+/// Timing runs through `dgnn_obs::timed`, so the wall-clock numbers in
+/// `CellResult` and — when observability is enabled — the `train`/`eval`
+/// spans of an exported trace are the same measurement.
 pub fn run_cell(model: &mut dyn Trainable, data: &Dataset, seed: u64) -> CellResult {
-    let t0 = Instant::now();
-    model.fit(data, seed);
-    let train_time = t0.elapsed();
-    let t1 = Instant::now();
-    let metrics = evaluate(model, &data.test);
-    let eval_time = t1.elapsed();
+    let ((), train_ns) = dgnn_obs::timed("train", || model.fit(data, seed));
+    let (metrics, eval_ns) = dgnn_obs::timed("eval", || evaluate(model, &data.test));
     CellResult {
         model: model.name().to_string(),
         dataset: data.name.clone(),
         metrics,
-        train_time,
-        eval_time,
+        train_time: Duration::from_nanos(train_ns),
+        eval_time: Duration::from_nanos(eval_ns),
     }
 }
 

@@ -231,23 +231,42 @@ impl Dgnn {
         });
 
         for epoch in 0..loop_cfg.epochs {
+            let _epoch_span = dgnn_obs::span("epoch");
             let mut epoch_loss = 0.0;
             for _ in 0..batches_per_epoch {
+                let _batch_span = dgnn_obs::span("batch");
                 let triples = sampler.batch(&mut rng, loop_cfg.batch_size);
                 let mut tape = match harness.as_mut() {
                     Some(h) => h.begin_step(),
                     None => Tape::new(),
                 };
-                let loss = self.record_step(&mut tape, &triples);
+                let loss = {
+                    let _fwd = dgnn_obs::span("forward");
+                    self.record_step(&mut tape, &triples)
+                };
                 self.params.zero_grads();
-                epoch_loss += tape.backward_into(loss, &mut self.params);
-                self.params.clip_grad_norm(loop_cfg.grad_clip);
-                adam.step(&mut self.params);
+                {
+                    let _bwd = dgnn_obs::span("backward");
+                    epoch_loss += tape.backward_into(loss, &mut self.params);
+                }
+                {
+                    let _opt_span = dgnn_obs::span("optimizer");
+                    let pre = self.params.clip_grad_norm(loop_cfg.grad_clip);
+                    dgnn_obs::hist_record("grad_norm/preclip", f64::from(pre));
+                    if pre.is_finite() {
+                        dgnn_obs::hist_record(
+                            "grad_norm/postclip",
+                            f64::from(pre.min(loop_cfg.grad_clip)),
+                        );
+                    }
+                    adam.step(&mut self.params);
+                }
                 if let Some(h) = harness.as_mut() {
                     h.end_step(tape);
                 }
             }
             let mean = epoch_loss / batches_per_epoch as f32;
+            dgnn_obs::hist_record("epoch_mean_loss", f64::from(mean));
             self.loss_history.push(mean);
             self.finalize();
             on_epoch(self, epoch, mean);
@@ -283,6 +302,7 @@ impl Dgnn {
     /// # Panics
     /// Panics if called before [`Dgnn::prepare`] (or `fit`).
     pub fn record_step<R: Recorder>(&self, rec: &mut R, triples: &[Triple]) -> Var {
+        let _span = dgnn_obs::span("dgnn/record_step");
         // PANICS: construction order is enforced by the public API — both
         // callers run prepare/init_params first.
         let handles = self.handles.as_ref().expect("record_step before prepare");

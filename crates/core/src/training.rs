@@ -78,18 +78,37 @@ where
         sampler.num_positives().div_ceil(loop_cfg.batch_size).max(1);
     let mut losses = Vec::with_capacity(loop_cfg.epochs);
     for epoch in 0..loop_cfg.epochs {
+        let _epoch_span = dgnn_obs::span("epoch");
         let mut epoch_loss = 0.0;
         for _ in 0..batches_per_epoch {
+            let _batch_span = dgnn_obs::span("batch");
             let triples = sampler.batch(&mut rng, loop_cfg.batch_size);
             let mut tape = Tape::new();
-            let (pos, neg) = forward(&mut tape, params, &triples);
-            let loss = tape.bpr_loss(pos, neg);
+            let loss = {
+                let _fwd = dgnn_obs::span("forward");
+                let (pos, neg) = forward(&mut tape, params, &triples);
+                tape.bpr_loss(pos, neg)
+            };
             params.zero_grads();
-            epoch_loss += tape.backward_into(loss, params);
-            params.clip_grad_norm(loop_cfg.grad_clip);
+            {
+                let _bwd = dgnn_obs::span("backward");
+                epoch_loss += tape.backward_into(loss, params);
+            }
+            let _opt_span = dgnn_obs::span("optimizer");
+            let pre = params.clip_grad_norm(loop_cfg.grad_clip);
+            dgnn_obs::hist_record("grad_norm/preclip", f64::from(pre));
+            if pre.is_finite() {
+                // Clipping caps a finite norm at the threshold; a non-finite
+                // norm is left unclipped (and counted) by clip_grad_norm.
+                dgnn_obs::hist_record(
+                    "grad_norm/postclip",
+                    f64::from(pre.min(loop_cfg.grad_clip)),
+                );
+            }
             opt.step(params);
         }
         let mean = epoch_loss / batches_per_epoch as f32;
+        dgnn_obs::hist_record("epoch_mean_loss", f64::from(mean));
         losses.push(mean);
         on_epoch(epoch, mean);
     }

@@ -1,0 +1,31 @@
+//! Monotonic process clock.
+//!
+//! All observability timestamps are nanoseconds since the first clock read
+//! of the process, from one shared [`Instant`] origin — so events recorded
+//! by different crates land on a single comparable timeline and exported
+//! traces start near zero.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call in this process.
+///
+/// Saturates at `u64::MAX` (≈ 584 years of uptime).
+pub fn now_ns() -> u64 {
+    let origin = ORIGIN.get_or_init(Instant::now);
+    u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

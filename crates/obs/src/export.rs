@@ -1,0 +1,262 @@
+//! Serialization of observability data: JSONL event logs, Chrome
+//! trace-event files, and the shared metrics-snapshot JSON.
+//!
+//! Field names in all three formats are a **stable schema** — the
+//! golden-schema integration test (`tests/tests/observability.rs`) pins
+//! them, and downstream tooling (`memplan --check`, `profile --check`,
+//! Perfetto) parses them. Change them only with the test and both check
+//! parsers in the same commit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::Snapshot;
+use crate::span::{SpanEvent, SpanPhase};
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number: integral values print without a
+/// fractional part (so byte counts stay grep-ably integral), non-finite
+/// values — which JSON cannot carry — print as `null`.
+pub fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One span event per line:
+/// `{"name":"batch","ph":"B","t_ns":12345,"depth":1}`.
+pub fn events_to_jsonl(events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"name\":{},\"ph\":{},\"t_ns\":{},\"depth\":{}}}",
+            json_string(&e.name),
+            json_string(e.phase.chrome_ph()),
+            e.t_ns,
+            e.depth,
+        );
+    }
+    out
+}
+
+/// Chrome trace-event JSON (the `chrome://tracing` / Perfetto format).
+///
+/// `threads` pairs a display name with that thread's event stream; each
+/// gets its own `tid` plus a `thread_name` metadata record so Perfetto
+/// shows labeled tracks. Timestamps are microseconds (the format's unit),
+/// carried as fractional values so nanosecond precision survives.
+pub fn chrome_trace(threads: &[(&str, &[SpanEvent])]) -> String {
+    let mut items = Vec::new();
+    for (tid, (name, events)) in threads.iter().enumerate() {
+        items.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            tid + 1,
+            json_string(name),
+        ));
+        for e in *events {
+            items.push(format!(
+                "{{\"name\":{},\"cat\":\"dgnn\",\"ph\":{},\"ts\":{},\"pid\":1,\"tid\":{}}}",
+                json_string(&e.name),
+                json_string(e.phase.chrome_ph()),
+                json_number(e.t_ns as f64 / 1000.0),
+                tid + 1,
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}", items.join(","))
+}
+
+/// Serializes a [`Snapshot`] — the one code path behind both
+/// `analysis-baseline.json` (via `memplan`) and `BENCH_profile.json`
+/// (via `profile`).
+///
+/// `indent` is the number of leading spaces on each emitted line, letting
+/// callers nest a snapshot inside a larger document.
+pub fn snapshot_to_json(s: &Snapshot, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let field = |out: &mut String, name: &str, body: String, last: bool| {
+        let _ = write!(out, "{pad}  \"{name}\": {{{body}}}{}\n", if last { "" } else { "," });
+    };
+    let mut out = format!("{pad}{{\n");
+    let counters = s
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{}: {v}", json_string(k)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    field(&mut out, "counters", counters, false);
+    let gauges = s
+        .gauges
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json_string(k), json_number(*v)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    field(&mut out, "gauges", gauges, false);
+    let hists = s
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            format!(
+                "{}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                json_string(k),
+                h.count,
+                json_number(h.sum),
+                json_number(h.min),
+                json_number(h.max),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    field(&mut out, "histograms", hists, false);
+    let ops = s
+        .ops
+        .iter()
+        .map(|(k, o)| {
+            format!(
+                "{}: {{\"forward\": {{\"calls\": {}, \"total_ns\": {}}}, \
+                 \"backward\": {{\"calls\": {}, \"total_ns\": {}}}}}",
+                json_string(k),
+                o.forward.calls,
+                o.forward.total_ns,
+                o.backward.calls,
+                o.backward.total_ns,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    field(&mut out, "ops", ops, true);
+    let _ = write!(out, "{pad}}}");
+    out
+}
+
+/// Sums span durations by name: `name -> (span_count, total_ns)`.
+///
+/// Balanced begin/end pairs are matched by a per-name stack, so nested and
+/// repeated spans of the same name both aggregate correctly.
+pub fn span_totals(events: &[SpanEvent]) -> BTreeMap<String, (u64, u64)> {
+    let mut open: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for e in events {
+        match e.phase {
+            SpanPhase::Begin => open.entry(&e.name).or_default().push(e.t_ns),
+            SpanPhase::End => {
+                if let Some(t0) = open.get_mut(e.name.as_ref()).and_then(Vec::pop) {
+                    let entry = totals.entry(e.name.to_string()).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += e.t_ns.saturating_sub(t0);
+                }
+            }
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistStat;
+    use crate::ops::{OpStat, PhaseStat};
+    use std::borrow::Cow;
+
+    fn ev(name: &'static str, phase: SpanPhase, t_ns: u64, depth: u32) -> SpanEvent {
+        SpanEvent { name: Cow::Borrowed(name), phase, t_ns, depth }
+    }
+
+    #[test]
+    fn jsonl_schema_is_stable() {
+        let line = events_to_jsonl(&[ev("batch", SpanPhase::Begin, 42, 1)]);
+        assert_eq!(line, "{\"name\":\"batch\",\"ph\":\"B\",\"t_ns\":42,\"depth\":1}\n");
+    }
+
+    #[test]
+    fn chrome_trace_has_required_fields() {
+        let events =
+            [ev("epoch", SpanPhase::Begin, 1000, 0), ev("epoch", SpanPhase::End, 3500, 0)];
+        let t = chrome_trace(&[("DGNN", &events)]);
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.contains("\"ph\":\"B\""));
+        assert!(t.contains("\"ph\":\"E\""));
+        assert!(t.contains("\"ts\":1"));
+        assert!(t.contains("\"ts\":3.5"));
+        assert!(t.contains("\"thread_name\""));
+        assert!(t.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(3.25), "3.25");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn snapshot_serializes_all_sections() {
+        let mut s = Snapshot::default();
+        s.counters.insert("grad_nonfinite".into(), 2);
+        s.gauges.insert("memplan/DGNN/peak_live_bytes".into(), 4096.0);
+        s.histograms
+            .insert("epoch_mean_loss".into(), HistStat { count: 2, sum: 1.5, min: 0.5, max: 1.0 });
+        s.ops.insert(
+            "matmul".into(),
+            OpStat {
+                forward: PhaseStat { calls: 4, total_ns: 100 },
+                backward: PhaseStat { calls: 4, total_ns: 220 },
+            },
+        );
+        let json = snapshot_to_json(&s, 2);
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"ops\"",
+            "\"grad_nonfinite\": 2",
+            "\"memplan/DGNN/peak_live_bytes\": 4096",
+            "\"count\": 2",
+            "\"forward\": {\"calls\": 4, \"total_ns\": 100}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn span_totals_handle_nesting_and_repeats() {
+        let events = [
+            ev("epoch", SpanPhase::Begin, 0, 0),
+            ev("batch", SpanPhase::Begin, 10, 1),
+            ev("batch", SpanPhase::End, 30, 1),
+            ev("batch", SpanPhase::Begin, 40, 1),
+            ev("batch", SpanPhase::End, 100, 1),
+            ev("epoch", SpanPhase::End, 110, 0),
+        ];
+        let t = span_totals(&events);
+        assert_eq!(t["batch"], (2, 80));
+        assert_eq!(t["epoch"], (1, 110));
+    }
+}

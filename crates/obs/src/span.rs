@@ -1,0 +1,156 @@
+//! Hierarchical span recording: RAII guards buffering begin/end events.
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+
+use crate::clock::now_ns;
+
+thread_local! {
+    static EVENTS: RefCell<Vec<SpanEvent>> = const { RefCell::new(Vec::new()) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Begin or end of a span — events always come in balanced pairs because
+/// the only producer is [`SpanGuard`]'s construction/drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+}
+
+impl SpanPhase {
+    /// Chrome trace-event phase letter (`"B"` / `"E"`).
+    pub fn chrome_ph(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+        }
+    }
+}
+
+/// One buffered span event.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Span name. `Cow` keeps the hot path allocation-free: permanent
+    /// instrumentation uses `&'static str`, cold per-model spans may own.
+    pub name: Cow<'static, str>,
+    /// Begin or end.
+    pub phase: SpanPhase,
+    /// [`now_ns`] timestamp.
+    pub t_ns: u64,
+    /// Nesting depth at the event (0 = top level). Begin and end of one
+    /// span carry the same depth.
+    pub depth: u32,
+}
+
+/// RAII span: records a begin event on creation (when enabled) and the
+/// matching end event on drop. A guard created while disabled is inert —
+/// it records nothing on drop even if recording is enabled in between,
+/// so pairs always balance.
+#[must_use = "a span measures the region until the guard drops; binding it to _ closes it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `Some` only when the begin event was recorded.
+    name: Option<Cow<'static, str>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            let depth = DEPTH.with(|d| {
+                let v = d.get().saturating_sub(1);
+                d.set(v);
+                v
+            });
+            push_event(SpanEvent { name, phase: SpanPhase::End, t_ns: now_ns(), depth });
+        }
+    }
+}
+
+fn begin(name: Cow<'static, str>) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard { name: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    // For static names this clone copies two words; only owned (cold-path)
+    // names pay a heap copy for the begin event.
+    push_event(SpanEvent { name: name.clone(), phase: SpanPhase::Begin, t_ns: now_ns(), depth });
+    SpanGuard { name: Some(name) }
+}
+
+/// Opens a span with a static name (the zero-allocation hot path).
+pub fn span(name: &'static str) -> SpanGuard {
+    begin(Cow::Borrowed(name))
+}
+
+/// Opens a span with an owned name (cold paths: per-model labels built
+/// with `format!`). Prefer [`span`] inside training loops.
+pub fn span_owned(name: String) -> SpanGuard {
+    if !crate::is_enabled() {
+        // Dropping the caller's String here is the cheapest honest option;
+        // callers on hot paths should use `span` with a static name.
+        return SpanGuard { name: None };
+    }
+    begin(Cow::Owned(name))
+}
+
+/// Runs `f` inside a span and returns `(result, elapsed_ns)`.
+///
+/// The duration is measured unconditionally — harness code that needs a
+/// wall-clock number (e.g. `CellResult::train_time`) gets it whether or
+/// not recording is enabled; the span events are emitted only when it is.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, u64) {
+    let guard = span(name);
+    let t0 = now_ns();
+    let out = f();
+    let dt = now_ns().saturating_sub(t0);
+    drop(guard);
+    (out, dt)
+}
+
+fn push_event(e: SpanEvent) {
+    EVENTS.with(|buf| buf.borrow_mut().push(e));
+}
+
+pub(crate) fn take_events() -> Vec<SpanEvent> {
+    EVENTS.with(|buf| std::mem::take(&mut *buf.borrow_mut()))
+}
+
+pub(crate) fn clear_events() {
+    EVENTS.with(|buf| buf.borrow_mut().clear());
+    DEPTH.with(|d| d.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_created_disabled_stays_inert_across_enable() {
+        crate::disable();
+        clear_events();
+        let g = span("late");
+        crate::enable();
+        drop(g);
+        crate::disable();
+        assert!(take_events().is_empty(), "no orphan end event may appear");
+    }
+
+    #[test]
+    fn depth_recovers_after_clear() {
+        crate::enable();
+        let g = span("a");
+        clear_events(); // simulates a mid-span reset
+        drop(g); // end event is still recorded, at saturated depth 0
+        let ev = take_events();
+        crate::disable();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].depth, 0);
+    }
+}

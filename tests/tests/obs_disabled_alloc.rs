@@ -1,0 +1,69 @@
+//! Disabled-mode cost proof: the observability hot path must not allocate
+//! when recording is off. A counting global allocator measures the exact
+//! number of heap allocations across a burst of disabled-mode calls.
+//!
+//! This lives in its own test binary because `#[global_allocator]` is a
+//! process-wide choice; keeping a single `#[test]` here also keeps the
+//! measurement window free of concurrent harness threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the `System` allocator unchanged;
+// the only addition is a relaxed counter increment, which cannot violate
+// any allocator invariant.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as the caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout come from a matching `alloc` on `System`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_observability_hot_path_never_allocates() {
+    dgnn_obs::reset();
+    dgnn_obs::disable();
+
+    // Warm up thread-locals outside the measurement window.
+    {
+        let _g = dgnn_obs::span("warmup");
+        dgnn_obs::counter_add("warmup", 1);
+        dgnn_obs::hist_record("warmup", 1.0);
+        dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 1);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let _batch = dgnn_obs::span("batch");
+        let _fwd = dgnn_obs::span("forward");
+        dgnn_obs::counter_add("grad_nonfinite", 1);
+        dgnn_obs::gauge_set("lr", 0.01);
+        dgnn_obs::hist_record("grad_norm/preclip", 2.5);
+        dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 120);
+        dgnn_obs::record_op("spmm", dgnn_obs::OpPhase::Backward, 80);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-mode recording must be allocation-free"
+    );
+
+    // The same calls while disabled must also have recorded nothing.
+    assert!(dgnn_obs::take_events().is_empty());
+    let snap = dgnn_obs::snapshot();
+    assert!(snap.counters.is_empty() && snap.histograms.is_empty() && snap.ops.is_empty());
+}

@@ -1,0 +1,299 @@
+//! Observability integration: the spans the training stack emits, the
+//! stability of the exported schemas, and the cost of the observer.
+
+use std::borrow::Cow;
+use std::rc::Rc;
+
+use dgnn_autograd::{Adam, ParamSet, Recorder, Tape};
+use dgnn_core::training::{run_bpr, TrainLoop};
+use dgnn_core::Dgnn;
+use dgnn_data::TrainSampler;
+use dgnn_eval::Trainable;
+use dgnn_graph::{HeteroGraph, HeteroGraphBuilder};
+use dgnn_integration_tests::quick_dgnn;
+use dgnn_obs::export::{chrome_trace, events_to_jsonl, snapshot_to_json, span_totals};
+use dgnn_obs::{SpanEvent, SpanPhase};
+use dgnn_tensor::Init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A tiny planted graph: 4 users × 12 items, 24 interactions.
+fn planted_graph() -> HeteroGraph {
+    let mut b = HeteroGraphBuilder::new(4, 12, 1);
+    for u in 0..2 {
+        for v in 0..6 {
+            b.interaction(u, v, 0);
+        }
+    }
+    for u in 2..4 {
+        for v in 6..12 {
+            b.interaction(u, v, 0);
+        }
+    }
+    b.build()
+}
+
+/// Matrix-factorization BPR on the planted graph, the smallest real
+/// consumer of `run_bpr`.
+fn run_mf_bpr(graph: &HeteroGraph, loop_cfg: TrainLoop) {
+    let sampler = TrainSampler::new(graph);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut params = ParamSet::new();
+    let eu = params.add("eu", Init::Uniform(0.1).build(4, 32, &mut rng));
+    let ev = params.add("ev", Init::Uniform(0.1).build(12, 32, &mut rng));
+    let mut adam = Adam::new(0.05, 1e-5);
+    run_bpr(
+        loop_cfg,
+        &mut params,
+        &mut adam,
+        &sampler,
+        7,
+        |tape, params, triples| {
+            let eu = tape.param(params, eu);
+            let ev = tape.param(params, ev);
+            let users: Rc<Vec<usize>> =
+                Rc::new(triples.iter().map(|t| t.user as usize).collect());
+            let pos: Rc<Vec<usize>> =
+                Rc::new(triples.iter().map(|t| t.pos as usize).collect());
+            let neg: Rc<Vec<usize>> =
+                Rc::new(triples.iter().map(|t| t.neg as usize).collect());
+            let ue = tape.gather(eu, users);
+            let pe = tape.gather(ev, pos);
+            let ne = tape.gather(ev, neg);
+            (tape.row_dots(ue, pe), tape.row_dots(ue, ne))
+        },
+        |_, _| {},
+    );
+}
+
+#[test]
+fn run_bpr_emits_exactly_epochs_times_batches_batch_spans() {
+    let graph = planted_graph();
+    let loop_cfg = TrainLoop { epochs: 3, batch_size: 8, grad_clip: 10.0 };
+    let batches_per_epoch = TrainSampler::new(&graph)
+        .num_positives()
+        .div_ceil(loop_cfg.batch_size)
+        .max(1);
+    assert_eq!(batches_per_epoch, 3, "planted graph: 24 positives / 8 per batch");
+
+    dgnn_obs::reset();
+    dgnn_obs::enable();
+    run_mf_bpr(&graph, loop_cfg);
+    let events = dgnn_obs::take_events();
+    dgnn_obs::disable();
+    dgnn_obs::reset();
+
+    let batch_begins = events
+        .iter()
+        .filter(|e| e.name == "batch" && e.phase == SpanPhase::Begin)
+        .count();
+    assert_eq!(batch_begins, loop_cfg.epochs * batches_per_epoch);
+    let epoch_begins = events
+        .iter()
+        .filter(|e| e.name == "epoch" && e.phase == SpanPhase::Begin)
+        .count();
+    assert_eq!(epoch_begins, loop_cfg.epochs);
+
+    // Every batch contains exactly one forward, backward, and optimizer span.
+    for inner in ["forward", "backward", "optimizer"] {
+        let n = events
+            .iter()
+            .filter(|e| e.name == inner && e.phase == SpanPhase::Begin)
+            .count();
+        assert_eq!(n, batch_begins, "one {inner} span per batch");
+    }
+
+    // Timestamps are monotone and begin/end pairs balance at every depth.
+    let mut last = 0;
+    let mut depth = 0i64;
+    for e in &events {
+        assert!(e.t_ns >= last, "timestamps must be monotone");
+        last = e.t_ns;
+        match e.phase {
+            SpanPhase::Begin => {
+                depth += 1;
+                assert_eq!(i64::from(e.depth), depth - 1);
+            }
+            SpanPhase::End => {
+                depth -= 1;
+                assert_eq!(i64::from(e.depth), depth);
+            }
+        }
+        assert!(depth >= 0, "end without a matching begin");
+    }
+    assert_eq!(depth, 0, "every span must be closed");
+
+    // span_totals sees the same counts the raw filter does.
+    let totals = span_totals(&events);
+    assert_eq!(totals["batch"].0, batch_begins as u64);
+    assert_eq!(totals["epoch"].0, epoch_begins as u64);
+}
+
+#[test]
+fn disabled_observer_records_nothing_across_a_full_fit() {
+    dgnn_obs::reset();
+    dgnn_obs::disable();
+    let data = dgnn_data::tiny(11);
+    Dgnn::new(quick_dgnn()).fit(&data, 3);
+    assert!(dgnn_obs::take_events().is_empty(), "no span events while disabled");
+    let snap = dgnn_obs::snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(snap.ops.is_empty());
+}
+
+#[test]
+fn dgnn_fit_populates_every_metric_family() {
+    dgnn_obs::reset();
+    dgnn_obs::enable();
+    let data = dgnn_data::tiny(11);
+    Dgnn::new(quick_dgnn().with_memory_plan()).fit(&data, 3);
+    let events = dgnn_obs::take_events();
+    let snap = dgnn_obs::snapshot();
+    dgnn_obs::disable();
+    dgnn_obs::reset();
+
+    let totals = span_totals(&events);
+    for phase in ["epoch", "batch", "forward", "backward", "optimizer"] {
+        assert!(totals.contains_key(phase), "missing {phase} span");
+        assert!(totals[phase].1 > 0, "{phase} total time must be positive");
+    }
+    for hist in ["epoch_mean_loss", "grad_norm/preclip", "grad_norm/postclip"] {
+        let h = snap.histograms.get(hist).unwrap_or_else(|| panic!("missing {hist}"));
+        assert!(h.count > 0);
+        assert!(h.min <= h.max);
+    }
+    // The tape profiler attributes time to canonical op kinds only.
+    assert!(!snap.ops.is_empty(), "op profile must be populated");
+    for (kind, stat) in &snap.ops {
+        assert!(
+            dgnn_autograd::meta::ALL_OPS.contains(&kind.as_str()),
+            "unknown op kind {kind}"
+        );
+        assert!(stat.forward.calls > 0, "{kind} must have forward calls");
+    }
+}
+
+#[test]
+fn jsonl_and_chrome_exports_keep_their_schema() {
+    dgnn_obs::reset();
+    dgnn_obs::enable();
+    {
+        let _outer = dgnn_obs::span("outer");
+        let _inner = dgnn_obs::span("inner");
+    }
+    let events = dgnn_obs::take_events();
+    dgnn_obs::disable();
+    dgnn_obs::reset();
+    assert_eq!(events.len(), 4);
+
+    // Golden JSONL schema: the exact key set and order tools depend on.
+    let jsonl = events_to_jsonl(&events);
+    for (line, e) in jsonl.lines().zip(&events) {
+        let expected = format!(
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"t_ns\":{},\"depth\":{}}}",
+            e.name,
+            e.phase.chrome_ph(),
+            e.t_ns,
+            e.depth
+        );
+        assert_eq!(line, expected);
+    }
+
+    // Golden Chrome trace schema: metadata record first, then per-event
+    // records carrying the fields Perfetto requires (ph/ts/pid/tid).
+    let trace = chrome_trace(&[("main", &events)]);
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"main\"}}"
+    ));
+    assert!(trace.contains("\"name\":\"outer\",\"cat\":\"dgnn\",\"ph\":\"B\""));
+    assert!(trace.contains("\"ph\":\"E\""));
+    assert!(trace.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+
+    // Snapshot schema: all four sections always present.
+    let snap = dgnn_obs::snapshot();
+    let json = snapshot_to_json(&snap, 0);
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"ops\""] {
+        assert!(json.contains(section), "snapshot must always carry {section}");
+    }
+}
+
+#[test]
+fn owned_span_names_survive_export() {
+    dgnn_obs::reset();
+    dgnn_obs::enable();
+    {
+        let _g = dgnn_obs::span_owned(format!("model-{}", 3));
+    }
+    let events = dgnn_obs::take_events();
+    dgnn_obs::disable();
+    dgnn_obs::reset();
+    assert_eq!(events[0].name, Cow::<'static, str>::Owned("model-3".to_string()));
+    assert!(events_to_jsonl(&events).contains("\"model-3\""));
+}
+
+/// Enabled-observer overhead on a training-shaped workload must stay
+/// within the documented 5% bound. Best-of-3 on both sides squeezes out
+/// scheduler noise; the workload is matmul-heavy (like real training) so
+/// the per-op cost of the profiler is amortized the way it is in practice.
+#[test]
+fn enabled_observer_overhead_is_bounded() {
+    fn workload() -> u64 {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let a = params.add("a", Init::Uniform(0.1).build(64, 64, &mut rng));
+        let b = params.add("b", Init::Uniform(0.1).build(64, 64, &mut rng));
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            let start = dgnn_obs::now_ns();
+            for _ in 0..20 {
+                let mut tape = Tape::new();
+                let va = tape.param(&params, a);
+                let vb = tape.param(&params, b);
+                let mut x = tape.matmul(va, vb);
+                for _ in 0..4 {
+                    x = tape.matmul(x, vb);
+                }
+                let loss = tape.sum_all(x);
+                params.zero_grads();
+                tape.backward_into(loss, &mut params);
+            }
+            best = best.min(dgnn_obs::now_ns() - start);
+        }
+        best
+    }
+
+    dgnn_obs::reset();
+    dgnn_obs::disable();
+    workload(); // warm-up: touch pages, grow the allocator
+    let disabled = workload();
+    dgnn_obs::enable();
+    let enabled = workload();
+    dgnn_obs::disable();
+    dgnn_obs::reset();
+
+    let overhead = enabled as f64 / disabled as f64 - 1.0;
+    assert!(
+        overhead <= 0.05,
+        "observer overhead {:.2}% exceeds the 5% bound \
+         (disabled {disabled} ns, enabled {enabled} ns)",
+        overhead * 100.0
+    );
+}
+
+/// `SpanEvent` re-export sanity: the bench profiler moves events across
+/// crate boundaries; keep the type usable from downstream crates.
+#[test]
+fn span_events_are_cloneable_across_crates() {
+    let e = SpanEvent {
+        name: Cow::Borrowed("x"),
+        phase: SpanPhase::Begin,
+        t_ns: 1,
+        depth: 0,
+    };
+    let copy = e.clone();
+    assert_eq!(copy.name, e.name);
+}
