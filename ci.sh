@@ -16,8 +16,9 @@ cargo test -q -p dgnn-integration-tests --test ablation_shape static_analysis
 echo "=== [3/6] release build (warnings denied) ==="
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
 
-echo "=== [4/6] full test suite ==="
-cargo test -q --workspace
+echo "=== [4/6] full test suite (serial and 4-thread kernel pool) ==="
+DGNN_THREADS=1 cargo test -q --workspace
+DGNN_THREADS=4 cargo test -q --workspace
 
 echo "=== [5/6] memory-plan peak-live-bytes regression gate ==="
 cargo run -q --release -p dgnn-bench --bin memplan -- --check analysis-baseline.json

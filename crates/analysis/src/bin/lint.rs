@@ -16,6 +16,10 @@
 //!    need a nearby `// OBS:` comment — instrumentation belongs in
 //!    `dgnn-obs` spans/metrics so it shows up in exported traces and can
 //!    be disabled globally.
+//! 8. no raw thread spawning (`thread::spawn` / `thread::Builder`) outside
+//!    `crates/tensor/src/parallel.rs` without a nearby `// PAR:` comment —
+//!    kernel work must go through the deterministic worker pool so the
+//!    bit-identity and allocation-accounting guarantees hold.
 //!
 //! `target/` and `third_party/` directories are never scanned.
 //!
@@ -52,6 +56,8 @@ struct Needles {
     clone: String,
     instant: String,
     println: String,
+    spawn: String,
+    thread_builder: String,
 }
 
 impl Needles {
@@ -65,6 +71,8 @@ impl Needles {
             clone: format!(".clo{}(", "ne"),
             instant: format!("Inst{}", "ant"),
             println: format!("print{}!", "ln"),
+            spawn: format!("thread::sp{}", "awn"),
+            thread_builder: format!("thread::Buil{}", "der"),
         }
     }
 }
@@ -283,6 +291,9 @@ fn lint_file(
             .windows(3)
             .any(|w| w.iter().map(|c| c.as_os_str()).eq(marker.iter()))
     });
+    // Rule 8 applies everywhere except the kernel pool itself: the one
+    // place allowed to own worker threads.
+    let par_scope = !file.ends_with(Path::new("tensor/src/parallel.rs"));
     // Track `#[cfg(test)]`-gated regions by brace depth: everything between
     // the attribute's following `{` and its matching `}` is test code where
     // unwrap/expect/panic are idiomatic.
@@ -382,6 +393,21 @@ fn lint_file(
                 }
             }
         }
+        if par_scope
+            && (code.contains(needles.spawn.as_str())
+                || code.contains(needles.thread_builder.as_str()))
+            && !has_marker(&lines, i, "PAR:")
+        {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "par-raw-thread",
+                detail: "raw thread spawn outside the kernel pool without a nearby \
+                         // PAR: comment; kernel work must run on the deterministic \
+                         pool in crates/tensor/src/parallel.rs"
+                    .to_string(),
+            });
+        }
         if contains_unsafe_keyword(&code) && !has_marker(&lines, i, "SAFETY:") {
             violations.push(Violation {
                 file: file.to_path_buf(),
@@ -457,6 +483,36 @@ mod tests {
         // Outside core/autograd the same line is fine.
         violations.clear();
         lint_file(Path::new("crates/bench/src/lib.rs"), &text, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn par_rule_exempts_the_kernel_pool() {
+        let needles = Needles::new();
+        let text = format!("let h = std::{}(move || work());\n", needles.spawn);
+        let mut violations = Vec::new();
+        let mut todos = 0;
+
+        lint_file(Path::new("crates/core/src/model.rs"), &text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "par-raw-thread");
+
+        // The pool itself may spawn workers freely.
+        violations.clear();
+        lint_file(
+            Path::new("crates/tensor/src/parallel.rs"),
+            &text,
+            &needles,
+            &mut violations,
+            &mut todos,
+        );
+        assert!(violations.is_empty());
+
+        // A PAR: marker justifies a spawn elsewhere (e.g. a test harness).
+        violations.clear();
+        let justified =
+            format!("// PAR: cross-thread determinism probe, not kernel work\n{text}");
+        lint_file(Path::new("crates/obs/src/lib.rs"), &justified, &needles, &mut violations, &mut todos);
         assert!(violations.is_empty());
     }
 

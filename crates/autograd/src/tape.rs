@@ -7,7 +7,7 @@
 
 use std::rc::Rc;
 
-use dgnn_tensor::{Csr, Matrix};
+use dgnn_tensor::{stable_sigmoid, Csr, Matrix};
 
 use crate::params::{ParamId, ParamSet};
 use crate::plan::TapePlan;
@@ -416,30 +416,25 @@ impl Tape {
                 Self::accum(grads, *b, self.value(*a).matmul_tn(g));
             }
             Transpose(a) => Self::accum(grads, *a, g.transpose()),
+            // Fused activation gradients: no slope matrix is materialized,
+            // but each multiplies in the same per-element order as the
+            // unfused `slope.mul_elem(g)` form, so results are bit-identical
+            // (enforced by unit tests in dgnn-tensor).
             Sigmoid(a) => {
-                let y = self.value(Var(i));
-                let dy = y.map(|s| s * (1.0 - s));
-                Self::accum(grads, *a, g.mul_elem(&dy));
+                Self::accum(grads, *a, self.value(Var(i)).sigmoid_grad(g));
             }
             Tanh(a) => {
-                let y = self.value(Var(i));
-                let dy = y.map(|t| 1.0 - t * t);
-                Self::accum(grads, *a, g.mul_elem(&dy));
+                Self::accum(grads, *a, self.value(Var(i)).tanh_grad(g));
             }
             LeakyRelu(a, alpha) => {
-                let x = self.value(*a);
-                let dy = x.map(|v| if v >= 0.0 { 1.0 } else { *alpha });
-                Self::accum(grads, *a, g.mul_elem(&dy));
+                Self::accum(grads, *a, self.value(*a).leaky_relu_grad(g, *alpha));
             }
             Relu(a) => {
-                let x = self.value(*a);
-                let dy = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                Self::accum(grads, *a, g.mul_elem(&dy));
+                Self::accum(grads, *a, self.value(*a).relu_grad(g));
             }
             Exp(a) => Self::accum(grads, *a, g.mul_elem(self.value(Var(i)))),
             Softplus(a) => {
-                let dy = self.value(*a).map(stable_sigmoid);
-                Self::accum(grads, *a, g.mul_elem(&dy));
+                Self::accum(grads, *a, self.value(*a).softplus_grad(g));
             }
             Ln(a) => {
                 let dy = self.value(*a).map(|x| 1.0 / x);
@@ -508,10 +503,14 @@ impl Tape {
                 Self::accum(grads, *a, ga);
             }
             Gather { a, idx } => {
+                // Scatter straight into the accumulator: materializing (and
+                // zeroing) a fresh dense table per gather dominated NGCF's
+                // backward profile. The table is zeroed once, on the first
+                // gradient contribution, and every later gather scatters
+                // only its touched rows.
                 let (r, c) = self.shape_of(*a);
-                let mut ga = Matrix::zeros(r, c);
-                ga.scatter_add_rows(idx, g);
-                Self::accum(grads, *a, ga);
+                let acc = grads[a.0].get_or_insert_with(|| Matrix::zeros(r, c));
+                acc.scatter_add_rows(idx, g);
             }
             Spmm { at, b, .. } => {
                 Self::accum(grads, *b, at.spmm(g));
@@ -519,18 +518,7 @@ impl Tape {
             LayerNormRow { a, eps } => {
                 let x = self.value(*a);
                 let y = self.value(Var(i));
-                let (r, c) = x.shape();
-                let mut ga = Matrix::zeros(r, c);
-                for row in 0..r {
-                    layer_norm_backward_row(
-                        x.row(row),
-                        y.row(row),
-                        g.row(row),
-                        *eps,
-                        ga.row_mut(row),
-                    );
-                }
-                Self::accum(grads, *a, ga);
+                Self::accum(grads, *a, Matrix::layer_norm_rows_grad(x, y, g, *eps));
             }
             RowL2Norm { a, eps } => {
                 let x = self.value(*a);
@@ -684,17 +672,22 @@ impl Recorder for Tape {
     // ---- activations -----------------------------------------------------
 
     fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(stable_sigmoid);
+        let v = self.value(a).map_weighted(32, stable_sigmoid);
         self.push(Op::Sigmoid(a), v)
     }
 
     fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        // Audited branchless: `f32::tanh` is a polynomial/rational kernel
+        // with no data-dependent branching.
+        let v = self.value(a).map_weighted(32, f32::tanh);
         self.push(Op::Tanh(a), v)
     }
 
     fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
+        // Branchless kernel (see `Matrix::leaky_relu`): the branchy map
+        // mispredicted ~half its calls on sign-random activations and was
+        // ~30× slower per element than `add`.
+        let v = self.value(a).leaky_relu(alpha);
         self.push(Op::LeakyRelu(a, alpha), v)
     }
 
@@ -704,17 +697,19 @@ impl Recorder for Tape {
     }
 
     fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
+        let v = self.value(a).map_weighted(16, f32::exp);
         self.push(Op::Exp(a), v)
     }
 
     fn softplus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+        // Audited branchless: `max`/`abs` compile to sign-bit ops, and the
+        // `exp`/`ln_1p` pair is branch-free on the value path.
+        let v = self.value(a).map_weighted(32, |x| x.max(0.0) + (-x.abs()).exp().ln_1p());
         self.push(Op::Softplus(a), v)
     }
 
     fn ln(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::ln);
+        let v = self.value(a).map_weighted(16, f32::ln);
         self.push(Op::Ln(a), v)
     }
 
@@ -789,13 +784,7 @@ impl Recorder for Tape {
     // ---- normalizers -----------------------------------------------------
 
     fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
-        let x = self.value(a);
-        // PLAN: forward normalizes a copy in place; the copy becomes the
-        // node value, whose lifetime the planner manages like any other.
-        let mut v = x.clone();
-        for r in 0..v.rows() {
-            layer_norm_row(v.row_mut(r), eps);
-        }
+        let v = self.value(a).layer_norm_rows(eps);
         self.push(Op::LayerNormRow { a, eps }, v)
     }
 
@@ -864,39 +853,6 @@ impl Recorder for Tape {
         assert_eq!(self.value(a).shape(), mask.shape(), "dropout: mask shape mismatch");
         let v = self.value(a).mul_elem(&mask);
         self.push(Op::Dropout { a, mask }, v)
-    }
-}
-
-/// Sigmoid that never overflows `exp`.
-fn stable_sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
-
-fn layer_norm_row(row: &mut [f32], eps: f32) {
-    let n = row.len() as f32;
-    let mean = row.iter().sum::<f32>() / n;
-    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
-    let inv_std = 1.0 / (var + eps).sqrt();
-    for v in row {
-        *v = (*v - mean) * inv_std;
-    }
-}
-
-/// Standard LayerNorm gradient: `dx = (g − mean(g) − y·mean(g⊙y)) / σ`.
-fn layer_norm_backward_row(x: &[f32], y: &[f32], g: &[f32], eps: f32, out: &mut [f32]) {
-    let n = x.len() as f32;
-    let mean = x.iter().sum::<f32>() / n;
-    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
-    let inv_std = 1.0 / (var + eps).sqrt();
-    let g_mean = g.iter().sum::<f32>() / n;
-    let gy_mean = g.iter().zip(y).map(|(&g, &y)| g * y).sum::<f32>() / n;
-    for k in 0..x.len() {
-        out[k] = (g[k] - g_mean - y[k] * gy_mean) * inv_std;
     }
 }
 

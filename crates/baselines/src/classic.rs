@@ -202,8 +202,7 @@ impl Trainable for Classic {
         let layers = self.cfg.layers;
         let batch = self.cfg.batch_size;
         self.loss_history = train_loop(
-            self.cfg.epochs,
-            batch,
+            &self.cfg,
             &mut params,
             &mut adam,
             &sampler,

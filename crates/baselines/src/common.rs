@@ -29,6 +29,10 @@ pub struct BaselineConfig {
     /// baselines only: NGCF, GCCF, DGCF, MHCN, DisenHAN; the others train
     /// unplanned regardless). Bit-identical to unplanned execution.
     pub use_memory_plan: bool,
+    /// Kernel-pool thread count for training (`0` inherits the ambient
+    /// setting: `DGNN_THREADS` or the hardware default). Any value produces
+    /// bit-identical results; `1` forces fully serial kernels.
+    pub threads: usize,
 }
 
 impl Default for BaselineConfig {
@@ -41,6 +45,7 @@ impl Default for BaselineConfig {
             learning_rate: 0.01,
             weight_decay: 1e-4,
             use_memory_plan: false,
+            threads: 0,
         }
     }
 }
@@ -49,6 +54,12 @@ impl BaselineConfig {
     /// Enables statically planned, pooled training-step execution.
     pub fn with_memory_plan(mut self) -> Self {
         self.use_memory_plan = true;
+        self
+    }
+
+    /// Pins the kernel-pool thread count for training (`0` = inherit).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -103,8 +114,7 @@ pub(crate) fn probe_batch(sampler: &TrainSampler, batch_size: usize, seed: u64) 
 ///
 /// Returns mean loss per epoch.
 pub(crate) fn train_loop(
-    epochs: usize,
-    batch_size: usize,
+    cfg: &BaselineConfig,
     params: &mut ParamSet,
     adam: &mut Adam,
     sampler: &TrainSampler,
@@ -112,6 +122,14 @@ pub(crate) fn train_loop(
     mut harness: Option<PlanHarness>,
     mut forward: impl FnMut(&mut Tape, &ParamSet, &[Triple], &mut StdRng) -> Var,
 ) -> Vec<f32> {
+    let (epochs, batch_size) = (cfg.epochs, cfg.batch_size);
+    if cfg.threads > 0 {
+        dgnn_tensor::parallel::set_threads(cfg.threads);
+    }
+    dgnn_obs::gauge_set(
+        "parallel/threads",
+        dgnn_tensor::parallel::current_threads() as f64,
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E11E5);
     let batches = sampler.num_positives().div_ceil(batch_size).max(1);
     let mut losses = Vec::with_capacity(epochs);

@@ -479,8 +479,7 @@ impl Trainable for DisenHan {
             })
         });
         self.loss_history = train_loop(
-            self.cfg.epochs,
-            self.cfg.batch_size,
+            &self.cfg,
             &mut params,
             &mut adam,
             &sampler,

@@ -132,8 +132,7 @@ impl Trainable for Eatnn {
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
         let batch = self.cfg.batch_size;
         self.loss_history = train_loop(
-            self.cfg.epochs,
-            batch,
+            &self.cfg,
             &mut params,
             &mut adam,
             &sampler,

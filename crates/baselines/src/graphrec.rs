@@ -174,8 +174,7 @@ impl Trainable for GraphRec {
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
         self.loss_history = train_loop(
-            self.cfg.epochs,
-            self.cfg.batch_size,
+            &self.cfg,
             &mut params,
             &mut adam,
             &sampler,

@@ -183,8 +183,7 @@ impl Trainable for Kgat {
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
         let layers = self.cfg.layers;
         self.loss_history = train_loop(
-            self.cfg.epochs,
-            self.cfg.batch_size,
+            &self.cfg,
             &mut params,
             &mut adam,
             &sampler,

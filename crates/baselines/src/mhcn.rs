@@ -297,8 +297,7 @@ impl Trainable for Mhcn {
             })
         });
         self.loss_history = train_loop(
-            self.cfg.epochs,
-            self.cfg.batch_size,
+            &self.cfg,
             &mut params,
             &mut adam,
             &sampler,

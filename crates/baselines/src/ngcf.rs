@@ -155,8 +155,7 @@ impl GraphCf {
             })
         });
         self.loss_history = train_loop(
-            self.cfg.epochs,
-            self.cfg.batch_size,
+            &self.cfg,
             &mut params,
             &mut adam,
             &sampler,

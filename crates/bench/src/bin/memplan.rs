@@ -161,6 +161,12 @@ fn baseline_json(rows: &[Row]) -> String {
         set("peak_live_bytes", r.plan.peak_live_bytes() as u64);
         set("total_value_bytes", r.plan.total_value_bytes() as u64);
     }
+    // Plans are thread-count independent (the pool never changes shapes or
+    // lifetimes), but record the width the audit ran under for provenance.
+    dgnn_obs::gauge_set(
+        "parallel/threads",
+        dgnn_tensor::parallel::current_threads() as f64,
+    );
     dgnn_obs::disable();
     let snap = dgnn_obs::snapshot();
     dgnn_obs::reset();

@@ -16,13 +16,23 @@
 //! ```text
 //! profile                     profile + write the artifacts above
 //! profile --check PATH        no artifacts; exit 1 if DGNN steps/sec
-//!                             regressed >25% vs. the baseline snapshot
+//!                             regressed >25% vs. the baseline snapshot,
+//!                             or if the parallel kernel pool is slower
+//!                             than serial beyond the noise budget
 //! ```
 //!
-//! The `--check` budget is deliberately loose: steps/sec is machine- and
-//! load-dependent, so the gate only catches large regressions (an op gone
-//! accidentally quadratic, observability left enabled in a hot path), not
-//! single-digit noise.
+//! Besides the observed run, DGNN is trained twice unobserved with the
+//! kernel pool pinned to one thread and to the ambient width
+//! (`DGNN_THREADS` / hardware), recorded as the
+//! `profile/steps_per_sec_serial` and `profile/steps_per_sec_parallel`
+//! gauges. Both runs share one warm process, so their ratio is
+//! load-robust in a way the absolute numbers are not; `--check` gates on
+//! that same-run ratio, never on a cross-machine comparison.
+//!
+//! The `--check` budgets are deliberately loose: steps/sec is machine- and
+//! load-dependent, so the gates only catch large regressions (an op gone
+//! accidentally quadratic, a parallel dispatch that loses to its own
+//! serial fallback), not single-digit noise.
 
 use std::process::ExitCode;
 
@@ -39,6 +49,12 @@ use dgnn_tensor::{alloc_counters, reset_alloc_counters};
 const SEED: u64 = 2023;
 /// Allowed relative drop of DGNN steps/sec before `--check` fails.
 const REGRESSION_BUDGET: f64 = 0.25;
+/// Allowed same-run shortfall of pooled vs serial steps/sec before
+/// `--check` fails. On the quick preset most kernels sit below the
+/// dispatch threshold and stay serial, so the ratio hovers near 1.0 and
+/// this only slackens for timer noise; a dispatch overhead regression
+/// (pool slower than its own serial fallback) still trips it.
+const PARALLEL_BUDGET: f64 = 0.15;
 
 fn quick_baseline() -> BaselineConfig {
     BaselineConfig {
@@ -78,12 +94,15 @@ struct Profile {
 /// `sps_disabled` (DGNN only) is the steps/sec of an identical run made
 /// with observability off, recorded as a gauge so the exported snapshot
 /// documents the measured observer overhead next to the enabled figure.
+/// `extra_gauges` publishes out-of-band measurements (the serial vs
+/// parallel reference runs) into this model's snapshot.
 fn profile_model(
     name: &'static str,
     model: &mut dyn Trainable,
     data: &Dataset,
     steps: u64,
     sps_disabled: Option<f64>,
+    extra_gauges: &[(&str, f64)],
 ) -> Profile {
     dgnn_obs::reset();
     dgnn_obs::enable();
@@ -100,6 +119,9 @@ fn profile_model(
     dgnn_obs::gauge_set("profile/eval_s", cell.eval_time.as_secs_f64());
     if let Some(sps) = sps_disabled {
         dgnn_obs::gauge_set("profile/steps_per_sec_disabled", sps);
+    }
+    for (key, value) in extra_gauges {
+        dgnn_obs::gauge_set(key, *value);
     }
     for (phase, (count, total_ns)) in span_totals(&events) {
         dgnn_obs::gauge_set(&format!("phase/{phase}/count"), count as f64);
@@ -186,6 +208,15 @@ fn main() -> ExitCode {
     let cell = run_cell(&mut Dgnn::new(dcfg.clone()), &data, SEED);
     let sps_disabled = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
 
+    // Serial vs pooled reference runs, still unobserved and both inside the
+    // same warm process so the ratio compares kernels, not machine state.
+    let pool_width = dgnn_tensor::parallel::auto_threads();
+    let cell = run_cell(&mut Dgnn::new(dcfg.clone().with_threads(1)), &data, SEED);
+    let sps_serial = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
+    let cell = run_cell(&mut Dgnn::new(dcfg.clone().with_threads(pool_width)), &data, SEED);
+    let sps_parallel = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
+    dgnn_tensor::parallel::set_threads(1);
+
     println!("=== Training profile (tiny dataset, quick configs, planned) ===");
     let mut profiles = Vec::new();
     profiles.push(profile_model(
@@ -194,9 +225,13 @@ fn main() -> ExitCode {
         &data,
         steps,
         Some(sps_disabled),
+        &[
+            ("profile/steps_per_sec_serial", sps_serial),
+            ("profile/steps_per_sec_parallel", sps_parallel),
+        ],
     ));
-    profiles.push(profile_model("NGCF", &mut Ngcf::new(bcfg.clone()), &data, steps, None));
-    profiles.push(profile_model("DGCF", &mut Dgcf::new(bcfg), &data, steps, None));
+    profiles.push(profile_model("NGCF", &mut Ngcf::new(bcfg.clone()), &data, steps, None, &[]));
+    profiles.push(profile_model("DGCF", &mut Dgcf::new(bcfg), &data, steps, None, &[]));
     for p in &profiles {
         print_summary(p);
     }
@@ -206,8 +241,23 @@ fn main() -> ExitCode {
          ({:+.1}% overhead)",
         (sps_disabled / dgnn_sps.max(1e-9) - 1.0) * 100.0,
     );
+    println!(
+        "DGNN kernels: {sps_serial:.1} steps/s serial vs {sps_parallel:.1} steps/s pooled \
+         ({pool_width} thread(s), ratio {:.2})",
+        sps_parallel / sps_serial.max(1e-9),
+    );
 
     if let Some(path) = check_path {
+        let ratio = sps_parallel / sps_serial.max(1e-9);
+        if ratio < 1.0 - PARALLEL_BUDGET {
+            eprintln!(
+                "REGRESSION DGNN: pooled kernels at {sps_parallel:.1} steps/s are more than \
+                 {:.0}% below the serial {sps_serial:.1} in the same run \
+                 ({pool_width} thread(s))",
+                100.0 * PARALLEL_BUDGET,
+            );
+            return ExitCode::FAILURE;
+        }
         let json = std::fs::read_to_string(path).expect("profile: reading baseline file");
         let Some(base) = baseline_steps_per_sec(&json, "DGNN") else {
             eprintln!("REGRESSION DGNN: profile/steps_per_sec missing from baseline {path}");
@@ -223,6 +273,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("steps/sec check passed against {path} ({dgnn_sps:.1} vs baseline {base:.1})");
+        println!(
+            "parallel/serial check passed ({sps_parallel:.1} vs {sps_serial:.1} steps/s \
+             same-run)"
+        );
         return ExitCode::SUCCESS;
     }
 

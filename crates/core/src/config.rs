@@ -42,6 +42,11 @@ pub struct DgnnConfig {
     ///
     /// [`MemoryPlan`]: https://docs.rs/dgnn-analysis
     pub use_memory_plan: bool,
+    /// Kernel-pool thread count for training (`0` inherits the ambient
+    /// setting: the `DGNN_THREADS` environment variable, falling back to
+    /// the hardware parallelism). Results are bit-identical at every
+    /// setting; `1` forces fully serial kernels.
+    pub threads: usize,
 }
 
 impl Default for DgnnConfig {
@@ -61,6 +66,7 @@ impl Default for DgnnConfig {
             use_social: true,
             use_knowledge: true,
             use_memory_plan: false,
+            threads: 0,
         }
     }
 }
@@ -107,6 +113,12 @@ impl DgnnConfig {
         self
     }
 
+    /// Pins the kernel-pool thread count for training (`0` = inherit).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Effective number of memory units after the `-M` ablation.
     pub fn effective_memory_units(&self) -> usize {
         if self.use_memory {
@@ -144,7 +156,13 @@ mod tests {
         assert_eq!(c.memory_units, 8);
         assert!((c.learning_rate - 0.01).abs() < 1e-9);
         assert!((c.leaky_slope - 0.2).abs() < 1e-9);
+        assert_eq!(c.threads, 0, "default must inherit the ambient thread count");
         c.validate();
+    }
+
+    #[test]
+    fn with_threads_pins_the_pool_width() {
+        assert_eq!(DgnnConfig::default().with_threads(4).threads, 4);
     }
 
     #[test]

@@ -208,6 +208,13 @@ impl Dgnn {
     ) {
         let g = &data.graph;
         self.init_params(g, seed);
+        if self.cfg.threads > 0 {
+            dgnn_tensor::parallel::set_threads(self.cfg.threads);
+        }
+        dgnn_obs::gauge_set(
+            "parallel/threads",
+            dgnn_tensor::parallel::current_threads() as f64,
+        );
         let sampler = TrainSampler::new(g);
         let mut adam = Adam::new(self.cfg.learning_rate, self.cfg.weight_decay);
         let loop_cfg = TrainLoop {

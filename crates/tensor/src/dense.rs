@@ -1,9 +1,9 @@
 //! Row-major dense `f32` matrix and its kernels.
 
 use std::fmt;
-use std::ops::{Index, IndexMut};
+use std::ops::{Index, IndexMut, Range};
 
-use crate::pool;
+use crate::{parallel, pool};
 
 /// A row-major dense matrix of `f32`.
 ///
@@ -173,8 +173,11 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses the cache-friendly i-k-j loop order so the inner loop streams
-    /// over contiguous rows of both `rhs` and the output.
+    /// Row-partitioned over the kernel pool; each partition runs the
+    /// cache-blocked i-k-j microkernel [`matmul_rows`], which accumulates
+    /// every output element over `k` ascending — the same per-element
+    /// reduction order for any partitioning, so the result is bit-identical
+    /// to serial execution.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
@@ -182,24 +185,21 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        let (k, n) = (self.cols, rhs.cols);
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel::par_row_chunks(&mut out.data, self.rows, n, k.saturating_mul(n), |rows, chunk| {
+            matmul_rows(a, b, k, n, &rows, chunk);
+        });
         out
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// Partitioned over *output* rows (columns of `self`): every partition
+    /// scans all `k` rows of the operands in ascending order, touching only
+    /// its own output rows, so accumulation order per element is unchanged
+    /// from the serial k-i-j loop.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
@@ -207,24 +207,18 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ki * b;
-                }
-            }
-        }
+        let (m, c, n) = (self.rows, self.cols, rhs.cols);
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel::par_row_chunks(&mut out.data, c, n, m.saturating_mul(n), |rows, chunk| {
+            matmul_tn_rows(a, b, m, c, n, &rows, chunk);
+        });
         out
     }
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    /// Row-partitioned: each output row is an independent set of dot
+    /// products.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
@@ -232,17 +226,12 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
+        let (k, jn) = (self.cols, rhs.rows);
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel::par_row_chunks(&mut out.data, self.rows, jn, k.saturating_mul(jn), |rows, chunk| {
+            matmul_nt_rows(a, b, k, jn, &rows, chunk);
+        });
         out
     }
 
@@ -259,27 +248,33 @@ impl Matrix {
 
     /// Elementwise sum `self + rhs`.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        self.zip_with(rhs, "add", |a, b| a + b)
+        self.zip_with(rhs, "add", 2, |a, b| a + b)
     }
 
     /// Elementwise difference `self - rhs`.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
-        self.zip_with(rhs, "sub", |a, b| a - b)
+        self.zip_with(rhs, "sub", 2, |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul_elem(&self, rhs: &Matrix) -> Matrix {
-        self.zip_with(rhs, "mul_elem", |a, b| a * b)
+        self.zip_with(rhs, "mul_elem", 2, |a, b| a * b)
     }
 
     /// Elementwise quotient `self ⊘ rhs`. Division by zero follows IEEE
     /// semantics (±∞/NaN); the static auditor's domain check exists to keep
     /// such divisors out of real graphs.
     pub fn div_elem(&self, rhs: &Matrix) -> Matrix {
-        self.zip_with(rhs, "div_elem", |a, b| a / b)
+        self.zip_with(rhs, "div_elem", 8, |a, b| a / b)
     }
 
-    fn zip_with(&self, rhs: &Matrix, what: &str, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        what: &str,
+        work_per_elem: usize,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Matrix {
         assert_eq!(
             self.shape(),
             rhs.shape(),
@@ -288,46 +283,70 @@ impl Matrix {
             rhs.shape()
         );
         let mut data = pool::alloc_overwritten(self.data.len());
-        for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&rhs.data) {
-            *o = f(a, b);
-        }
+        let (a, b) = (&self.data, &rhs.data);
+        parallel::par_row_chunks(&mut data, a.len(), 1, work_per_elem, |range, chunk| {
+            for ((o, &x), &y) in chunk.iter_mut().zip(&a[range.clone()]).zip(&b[range]) {
+                *o = f(x, y);
+            }
+        });
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// In-place `self += rhs`.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        let b = &rhs.data;
+        parallel::par_row_chunks(&mut self.data, b.len(), 1, 2, |range, chunk| {
+            for (a, &v) in chunk.iter_mut().zip(&b[range]) {
+                *a += v;
+            }
+        });
     }
 
     /// In-place `self += k * rhs` (AXPY).
     pub fn axpy(&mut self, k: f32, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "axpy: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += k * b;
-        }
+        let b = &rhs.data;
+        parallel::par_row_chunks(&mut self.data, b.len(), 1, 2, |range, chunk| {
+            for (a, &v) in chunk.iter_mut().zip(&b[range]) {
+                *a += k * v;
+            }
+        });
     }
 
     /// Scaled copy `k * self`.
     pub fn scale(&self, k: f32) -> Matrix {
-        self.map(|v| v * k)
+        self.map(move |v| v * k)
     }
 
     /// In-place scaling `self *= k`.
     pub fn scale_assign(&mut self, k: f32) {
-        for v in &mut self.data {
-            *v *= k;
-        }
+        let len = self.data.len();
+        parallel::par_row_chunks(&mut self.data, len, 1, 2, |_, chunk| {
+            for v in chunk {
+                *v *= k;
+            }
+        });
     }
 
-    /// Entry-wise map.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    /// Entry-wise map (cheap-closure cost class; use [`Matrix::map_weighted`]
+    /// for transcendental per-element functions).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        self.map_weighted(4, f)
+    }
+
+    /// Entry-wise map with an explicit per-element cost weight (in ≈FMA
+    /// units) for the parallel planner: expensive scalar functions (`exp`,
+    /// `tanh`, …) pass a large weight so they split across workers at
+    /// smaller sizes than an `add` would.
+    pub fn map_weighted(&self, work_per_elem: usize, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         let mut data = pool::alloc_overwritten(self.data.len());
-        for (o, &v) in data.iter_mut().zip(&self.data) {
-            *o = f(v);
-        }
+        let src = &self.data;
+        parallel::par_row_chunks(&mut data, src.len(), 1, work_per_elem, |range, chunk| {
+            for (o, &v) in chunk.iter_mut().zip(&src[range]) {
+                *o = f(v);
+            }
+        });
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
@@ -477,58 +496,293 @@ impl Matrix {
     }
 
     /// New matrix whose rows are `self.row(idx[i])` (embedding lookup).
+    /// Row-partitioned: each output row is an independent copy.
     pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
-        for (i, &r) in idx.iter().enumerate() {
+        for &r in idx {
             assert!(r < self.rows, "gather_rows: index {r} out of bounds ({} rows)", self.rows);
-            out.row_mut(i).copy_from_slice(self.row(r));
         }
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        let cols = self.cols;
+        let src = &self.data;
+        parallel::par_row_chunks(&mut out.data, idx.len(), cols, cols, |range, chunk| {
+            for (off, i) in range.enumerate() {
+                let r = idx[i];
+                chunk[off * cols..(off + 1) * cols]
+                    .copy_from_slice(&src[r * cols..(r + 1) * cols]);
+            }
+        });
         out
     }
 
     /// Scatter-add: `self.row(idx[i]) += src.row(i)` for every `i`.
     /// Duplicate indices accumulate.
+    ///
+    /// Partitioned over *destination* rows: each partition scans the full
+    /// index list in order and applies only the updates landing in its row
+    /// range, so duplicates still accumulate in index order within every
+    /// destination row — bit-identical to the serial pass.
     pub fn scatter_add_rows(&mut self, idx: &[usize], src: &Matrix) {
         assert_eq!(idx.len(), src.rows, "scatter_add_rows: index/src mismatch");
         assert_eq!(self.cols, src.cols, "scatter_add_rows: width mismatch");
-        for (i, &r) in idx.iter().enumerate() {
+        for &r in idx {
             assert!(r < self.rows, "scatter_add_rows: index {r} out of bounds");
-            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (d, &s) in dst.iter_mut().zip(src.row(i)) {
-                *d += s;
-            }
         }
+        let (rows, cols) = (self.rows, self.cols);
+        let src_data = &src.data;
+        // Per-partition cost is one idx scan plus this partition's share of
+        // the row updates; estimate the latter as evenly spread.
+        let work = (idx.len().saturating_mul(cols.max(1)) / rows.max(1)).max(1);
+        parallel::par_row_chunks(&mut self.data, rows, cols, work, |range, chunk| {
+            for (i, &r) in idx.iter().enumerate() {
+                if range.contains(&r) {
+                    let off = (r - range.start) * cols;
+                    let dst = &mut chunk[off..off + cols];
+                    for (d, &s) in dst.iter_mut().zip(&src_data[i * cols..(i + 1) * cols]) {
+                        *d += s;
+                    }
+                }
+            }
+        });
     }
 
     /// Row-wise L2 normalization; rows with norm below `eps` are left
     /// unchanged (avoids dividing by ~0 for never-touched embeddings).
+    /// Row-partitioned: every row normalizes independently.
     pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
-            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
-            if norm > eps {
-                for v in row {
-                    *v /= norm;
+        let cols = self.cols;
+        parallel::par_row_chunks(&mut out.data, self.rows, cols, 4 * cols.max(1), |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols.max(1)) {
+                let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+                if norm > eps {
+                    for v in row {
+                        *v /= norm;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// Row-wise softmax.
+    /// Row-wise softmax. Row-partitioned: every row is an independent
+    /// stable softmax.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            softmax_in_place(out.row_mut(r));
-        }
+        let cols = self.cols;
+        parallel::par_row_chunks(&mut out.data, self.rows, cols, 16 * cols.max(1), |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols.max(1)) {
+                softmax_in_place(row);
+            }
+        });
         out
+    }
+
+    /// Row-wise layer normalization `(x − mean) / √(var + eps)`.
+    /// Row-partitioned: every row normalizes independently.
+    pub fn layer_norm_rows(&self, eps: f32) -> Matrix {
+        let mut out = self.clone();
+        let cols = self.cols;
+        parallel::par_row_chunks(&mut out.data, self.rows, cols, 8 * cols.max(1), |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols.max(1)) {
+                layer_norm_in_place(row, eps);
+            }
+        });
+        out
+    }
+
+    /// Gradient of [`Matrix::layer_norm_rows`]: standard LayerNorm
+    /// backward `dx = (g − mean(g) − y·mean(g⊙y)) / σ`, where `x` is the
+    /// forward input, `y` the forward output, and `g` the upstream
+    /// gradient. Row-partitioned like the forward pass.
+    pub fn layer_norm_rows_grad(x: &Matrix, y: &Matrix, g: &Matrix, eps: f32) -> Matrix {
+        assert_eq!(x.shape(), y.shape(), "layer_norm_rows_grad: x/y shape mismatch");
+        assert_eq!(x.shape(), g.shape(), "layer_norm_rows_grad: x/g shape mismatch");
+        let (rows, cols) = x.shape();
+        let mut out = Matrix::zeros(rows, cols);
+        let (xd, yd, gd) = (&x.data, &y.data, &g.data);
+        parallel::par_row_chunks(&mut out.data, rows, cols, 12 * cols.max(1), |range, chunk| {
+            for (off, r) in range.enumerate() {
+                let lo = r * cols;
+                layer_norm_grad_row(
+                    &xd[lo..lo + cols],
+                    &yd[lo..lo + cols],
+                    &gd[lo..lo + cols],
+                    eps,
+                    &mut chunk[off * cols..(off + 1) * cols],
+                );
+            }
+        });
+        out
+    }
+
+    /// Leaky ReLU `max(x, 0) + α·min(x, 0)`.
+    ///
+    /// Branchless on sign-random activations (the naïve `if x >= 0.0`
+    /// form mispredicts ~half the time and dominated the forward profile);
+    /// a NaN input yields `α·NaN = NaN` only through the `min` term when
+    /// `α != 0`, and the tape's finite checks exist to catch NaN upstream.
+    pub fn leaky_relu(&self, alpha: f32) -> Matrix {
+        self.map_weighted(4, move |x| x.max(0.0) + alpha * x.min(0.0))
+    }
+
+    /// Gradient of [`Matrix::leaky_relu`]: `g ⊙ (x ≥ 0 ? 1 : α)` where
+    /// `self` is the forward *input* `x`. Fused (no slope matrix is
+    /// materialized) but multiplies in the same order as
+    /// `slope.mul_elem(g)` would, so bits match the unfused form.
+    pub fn leaky_relu_grad(&self, g: &Matrix, alpha: f32) -> Matrix {
+        g.zip_with(self, "leaky_relu_grad", 4, move |gv, x| {
+            gv * if x >= 0.0 { 1.0 } else { alpha }
+        })
+    }
+
+    /// Gradient of ReLU: `g ⊙ (x > 0 ? 1 : 0)` where `self` is the
+    /// forward *input* `x`.
+    pub fn relu_grad(&self, g: &Matrix) -> Matrix {
+        g.zip_with(self, "relu_grad", 4, |gv, x| gv * if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Gradient of tanh given the forward *output* `t = tanh(x)` as
+    /// `self`: `g ⊙ (1 − t²)`.
+    pub fn tanh_grad(&self, g: &Matrix) -> Matrix {
+        g.zip_with(self, "tanh_grad", 4, |gv, t| gv * (1.0 - t * t))
+    }
+
+    /// Gradient of the logistic sigmoid given the forward *output*
+    /// `s = σ(x)` as `self`: `g ⊙ s(1 − s)`.
+    pub fn sigmoid_grad(&self, g: &Matrix) -> Matrix {
+        g.zip_with(self, "sigmoid_grad", 4, |gv, s| gv * (s * (1.0 - s)))
+    }
+
+    /// Gradient of softplus given the forward *input* `x` as `self`:
+    /// `g ⊙ σ(x)`.
+    pub fn softplus_grad(&self, g: &Matrix) -> Matrix {
+        g.zip_with(self, "softplus_grad", 32, |gv, x| gv * stable_sigmoid(x))
     }
 
     /// True when every entry is finite (no NaN/∞) — used as a training
     /// sanity check.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Cache-blocked i-k-j GEMM microkernel over one span of output rows.
+///
+/// `out` covers exactly rows `rows` of the full product (row-major,
+/// already zeroed). Blocking the `k` loop keeps ≲`K_BLOCK` rows of `b`
+/// hot in cache while the row span streams over them; every output
+/// element still accumulates over `k` strictly ascending (blocks iterate
+/// in order), so the result is bit-identical to the unblocked loop. The
+/// `a_ik == 0.0` skip is kept from the original kernel: it preserves
+/// historical signed-zero behavior and sparse gradients are common here.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, rows: &Range<usize>, out: &mut [f32]) {
+    /// Rows of `b` per cache block (`64 × n × 4` bytes ≈ L1-sized for the
+    /// dims this repo trains at).
+    const K_BLOCK: usize = 64;
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + K_BLOCK).min(k);
+        for (off, i) in rows.clone().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[off * n..(off + 1) * n];
+            for (kk, &a_ik) in a_row[k0..k1].iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * bv;
+                }
+            }
+        }
+        k0 = k1;
+    }
+}
+
+/// `aᵀ · b` microkernel over one span of output rows (columns `rows` of
+/// `a`). Scans all `m` operand rows ascending — the serial loop order —
+/// touching only its own output rows.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    c: usize,
+    n: usize,
+    rows: &Range<usize>,
+    out: &mut [f32],
+) {
+    for k in 0..m {
+        let a_row = &a[k * c..(k + 1) * c];
+        let b_row = &b[k * n..(k + 1) * n];
+        for (off, i) in rows.clone().enumerate() {
+            let a_ki = a_row[i];
+            if a_ki == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[off * n..(off + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ki * bv;
+            }
+        }
+    }
+}
+
+/// `a · bᵀ` microkernel over one span of output rows: independent dot
+/// products, one per output element.
+fn matmul_nt_rows(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    jn: usize,
+    rows: &Range<usize>,
+    out: &mut [f32],
+) {
+    for (off, i) in rows.clone().enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[off * jn..(off + 1) * jn];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Logistic sigmoid that never overflows `exp`, shared by the tape's
+/// `sigmoid` forward and [`Matrix::softplus_grad`].
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// One row of LayerNorm forward, in place.
+fn layer_norm_in_place(row: &mut [f32], eps: f32) {
+    let n = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    for v in row {
+        *v = (*v - mean) * inv_std;
+    }
+}
+
+/// One row of LayerNorm backward: `dx = (g − mean(g) − y·mean(g⊙y)) / σ`.
+fn layer_norm_grad_row(x: &[f32], y: &[f32], g: &[f32], eps: f32, out: &mut [f32]) {
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    let g_mean = g.iter().sum::<f32>() / n;
+    let gy_mean = g.iter().zip(y).map(|(&g, &y)| g * y).sum::<f32>() / n;
+    for k in 0..x.len() {
+        out[k] = (g[k] - g_mean - y[k] * gy_mean) * inv_std;
     }
 }
 
@@ -737,5 +991,67 @@ mod tests {
         let a = m(1, 3, &[-1.0, 0.0, 2.0]);
         assert_eq!(a.map(f32::abs).as_slice(), &[1.0, 0.0, 2.0]);
         assert_eq!(a.scale(-2.0).as_slice(), &[2.0, 0.0, -4.0]);
+    }
+
+    #[test]
+    fn leaky_relu_matches_branchy_definition() {
+        let a = m(1, 5, &[-2.0, -0.5, 0.0, 0.5, 3.0]);
+        let alpha = 0.2;
+        let got = a.leaky_relu(alpha);
+        let want = a.map(|x| if x >= 0.0 { x } else { alpha * x });
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits(), "branchless form must match the definition");
+        }
+    }
+
+    #[test]
+    fn activation_grads_match_unfused_forms() {
+        let x = m(2, 3, &[-1.5, -0.1, 0.0, 0.3, 2.0, -4.0]);
+        let g = m(2, 3, &[1.0, -2.0, 0.5, 3.0, -0.25, 1.5]);
+        let alpha = 0.1;
+        let slope = x.map(|v| if v >= 0.0 { 1.0 } else { alpha });
+        assert_eq!(x.leaky_relu_grad(&g, alpha), g.mul_elem(&slope));
+        let t = x.map(f32::tanh);
+        assert_eq!(t.tanh_grad(&g), g.mul_elem(&t.map(|t| 1.0 - t * t)));
+        let sp_slope = x.map(stable_sigmoid);
+        assert_eq!(x.softplus_grad(&g), g.mul_elem(&sp_slope));
+        let s = x.map(stable_sigmoid);
+        assert_eq!(s.sigmoid_grad(&g), g.mul_elem(&s.map(|s| s * (1.0 - s))));
+        let rs = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        assert_eq!(x.relu_grad(&g), g.mul_elem(&rs));
+    }
+
+    #[test]
+    fn layer_norm_rows_zero_mean_unit_var() {
+        let a = m(2, 4, &[1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]);
+        let y = a.layer_norm_rows(1e-5);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_grad_matches_finite_difference() {
+        let eps = 1e-5;
+        let x = m(1, 4, &[0.4, -1.2, 2.0, 0.1]);
+        let y = x.layer_norm_rows(eps);
+        let g = m(1, 4, &[1.0, -0.5, 0.25, 2.0]);
+        let ga = Matrix::layer_norm_rows_grad(&x, &y, &g, eps);
+        let h = 1e-3;
+        for k in 0..4 {
+            let mut xp = x.clone();
+            xp[(0, k)] += h;
+            let mut xm = x.clone();
+            xm[(0, k)] -= h;
+            let lp: f32 =
+                xp.layer_norm_rows(eps).row(0).iter().zip(g.row(0)).map(|(&a, &b)| a * b).sum();
+            let lm: f32 =
+                xm.layer_norm_rows(eps).row(0).iter().zip(g.row(0)).map(|(&a, &b)| a * b).sum();
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((ga[(0, k)] - fd).abs() < 1e-2, "k={k}: {} vs fd {fd}", ga[(0, k)]);
+        }
     }
 }

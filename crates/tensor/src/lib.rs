@@ -4,17 +4,22 @@
 //! The crate is deliberately minimal: a row-major dense [`Matrix`], a CSR
 //! sparse matrix [`Csr`], and the handful of kernels a graph neural network
 //! needs (GEMM, sparse–dense products, row-wise reductions and normalizers).
-//! Everything is single-threaded and deterministic so experiments are
-//! bit-for-bit reproducible from a seed.
+//! Hot kernels run on the deterministic worker pool in [`parallel`]
+//! (row-range partitioning over disjoint output slices, so results are
+//! bit-identical to serial execution for every thread count), keeping
+//! experiments bit-for-bit reproducible from a seed; `threads = 1` — the
+//! default when `DGNN_THREADS` is unset on a single-core host — is a
+//! guaranteed fully-serial path.
 
 #![warn(missing_docs)]
 
 mod dense;
 mod init;
+pub mod parallel;
 mod pool;
 mod sparse;
 
-pub use dense::Matrix;
+pub use dense::{stable_sigmoid, Matrix};
 pub use init::{xavier_uniform, Init};
 pub use pool::{alloc_counters, recycle, recycle_vec, reset_alloc_counters, BufferPool};
 pub use sparse::{Csr, CsrBuilder};

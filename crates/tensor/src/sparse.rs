@@ -82,7 +82,10 @@ impl Csr {
 
     /// Sparse–dense product `self · dense`.
     ///
-    /// This is the propagation kernel: `O(nnz · d)`.
+    /// This is the propagation kernel: `O(nnz · d)`. Partitioned over
+    /// output rows on the kernel pool: each output row is accumulated by
+    /// exactly one partition, scanning its stored entries in CSR order,
+    /// so the result is bit-identical to the serial loop.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -95,16 +98,22 @@ impl Csr {
         );
         let d = dense.cols();
         let mut out = Matrix::zeros(self.rows, d);
-        for r in 0..self.rows {
-            let out_row = out.row_mut(r);
-            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                let c = self.col_idx[i];
-                let w = self.values[i];
-                for (o, &x) in out_row.iter_mut().zip(dense.row(c)) {
-                    *o += w * x;
+        let src = dense.as_slice();
+        // Average-nnz cost estimate; row skew just shifts load balance,
+        // never results.
+        let work = ((self.nnz() / self.rows.max(1)).max(1)).saturating_mul(d.max(1));
+        crate::parallel::par_row_chunks(out.as_mut_slice(), self.rows, d, work, |range, chunk| {
+            for (off, r) in range.enumerate() {
+                let out_row = &mut chunk[off * d..(off + 1) * d];
+                for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    let c = self.col_idx[i];
+                    let w = self.values[i];
+                    for (o, &x) in out_row.iter_mut().zip(&src[c * d..(c + 1) * d]) {
+                        *o += w * x;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
