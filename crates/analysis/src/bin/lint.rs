@@ -20,6 +20,11 @@
 //!    `crates/tensor/src/parallel.rs` without a nearby `// PAR:` comment —
 //!    kernel work must go through the deterministic worker pool so the
 //!    bit-identity and allocation-accounting guarantees hold.
+//! 9. the serving tier fails soft: `.unwrap()` / `.expect(` / `panic!`
+//!    anywhere in `crates/serve/src` needs a nearby `// SERVE:` comment
+//!    proving the path is unreachable from request handling — a panic
+//!    there kills a worker or the batcher instead of returning a 4xx/5xx,
+//!    so even a well-messaged expect is not acceptable by default.
 //!
 //! `target/` and `third_party/` directories are never scanned.
 //!
@@ -294,6 +299,15 @@ fn lint_file(
     // Rule 8 applies everywhere except the kernel pool itself: the one
     // place allowed to own worker threads.
     let par_scope = !file.ends_with(Path::new("tensor/src/parallel.rs"));
+    // Rule 9 applies to the serving tier, which must fail soft: request
+    // handling answers bad input with 4xx/5xx JSON, never a panic.
+    let serve_scope = {
+        let marker: PathBuf = ["crates", "serve", "src"].iter().collect();
+        file.components()
+            .collect::<Vec<_>>()
+            .windows(3)
+            .any(|w| w.iter().map(|c| c.as_os_str()).eq(marker.iter()))
+    };
     // Track `#[cfg(test)]`-gated regions by brace depth: everything between
     // the attribute's following `{` and its matching `}` is test code where
     // unwrap/expect/panic are idiomatic.
@@ -408,6 +422,22 @@ fn lint_file(
                     .to_string(),
             });
         }
+        if serve_scope
+            && (code.contains(needles.unwrap.as_str())
+                || code.contains(needles.expect.as_str())
+                || code.contains(needles.panic.as_str()))
+            && !has_marker(&lines, i, "SERVE:")
+        {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "serve-fail-soft",
+                detail: "potential panic in the serving tier without a nearby \
+                         // SERVE: comment; request paths must return JSON \
+                         errors, never panic"
+                    .to_string(),
+            });
+        }
         if contains_unsafe_keyword(&code) && !has_marker(&lines, i, "SAFETY:") {
             violations.push(Violation {
                 file: file.to_path_buf(),
@@ -514,6 +544,30 @@ mod tests {
             format!("// PAR: cross-thread determinism probe, not kernel work\n{text}");
         lint_file(Path::new("crates/obs/src/lib.rs"), &justified, &needles, &mut violations, &mut todos);
         assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn serve_rule_demands_a_serve_marker() {
+        let needles = Needles::new();
+        // A well-messaged expect passes rule 2 everywhere, but rule 9
+        // still rejects it inside the serving tier.
+        let text = format!("let v = maybe{}\"invariant holds by construction\");\n", needles.expect);
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        lint_file(Path::new("crates/serve/src/http.rs"), &text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1, "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert_eq!(violations[0].rule, "serve-fail-soft");
+
+        // A SERVE: marker within the window justifies it.
+        violations.clear();
+        let justified = format!("// SERVE: load-time only, no request path reaches this\n{text}");
+        lint_file(Path::new("crates/serve/src/engine.rs"), &justified, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // The same line outside crates/serve/src does not trip rule 9.
+        violations.clear();
+        lint_file(Path::new("crates/bench/src/lib.rs"), &text, &needles, &mut violations, &mut todos);
+        assert!(violations.iter().all(|v| v.rule != "serve-fail-soft"));
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! **Serving load harness**: train → checkpoint → serve → measure.
+//!
+//! Trains a quick DGNN on the tiny dataset, saves a checkpoint, boots the
+//! `dgnn-serve` HTTP server on a loopback port, and drives closed-loop
+//! concurrent clients (each fires its next request as soon as the previous
+//! one answers). A malformed-request smoke runs alongside: garbage bytes,
+//! unknown routes, bad parameters and unknown users must all come back as
+//! well-formed JSON 4xx — never a dropped worker. The harness also
+//! micro-measures the heap-based partial top-K kernel against a full
+//! per-row sort (the selection strategy `dgnn-eval` used to pay for), and
+//! cross-checks one served response against a direct engine query.
+//!
+//! Metrics flow through `dgnn-obs`: latency histograms plus
+//! `serve/latency_ms_{p50,p95,p99}`, `serve/qps`, `serve/batch_size_mean`
+//! gauges, serialized by the same `snapshot_to_json` path as
+//! `BENCH_profile.json`.
+//!
+//! ```text
+//! loadgen                   run and write BENCH_serve.json + results/dgnn.ckpt
+//! loadgen --check PATH      no artifacts; exit 1 on zero successful
+//!                           requests or >25% qps regression vs. PATH
+//! ```
+//!
+//! qps is machine- and load-dependent; the 25% budget (matching the
+//! profile gate) only catches large regressions, not scheduler noise.
+
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dgnn_core::{Dgnn, DgnnConfig};
+use dgnn_data::tiny;
+use dgnn_eval::Trainable;
+use dgnn_obs::export::snapshot_to_json;
+use dgnn_serve::{Engine, Query, ServeConfig, Server};
+use dgnn_tensor::{top_k_rows, Matrix};
+
+/// Seed shared with the rest of the experiment harness.
+const SEED: u64 = 2023;
+/// Allowed relative qps drop before `--check` fails.
+const REGRESSION_BUDGET: f64 = 0.25;
+/// Closed-loop client threads.
+const CLIENTS: usize = 6;
+/// Requests each client fires.
+const REQUESTS_PER_CLIENT: usize = 150;
+
+fn quick_dgnn() -> DgnnConfig {
+    DgnnConfig {
+        dim: 8,
+        layers: 2,
+        memory_units: 4,
+        epochs: 4,
+        batch_size: 256,
+        ..Default::default()
+    }
+}
+
+/// One blocking HTTP exchange; returns (status, body).
+fn http_get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))?;
+    let body = raw.split_once("\r\n\r\n").map_or("", |(_, b)| b).to_string();
+    Ok((status, body))
+}
+
+/// Sends raw bytes and returns whatever comes back (malformed smoke).
+fn http_raw(addr: SocketAddr, payload: &[u8]) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(payload)?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    Ok(raw)
+}
+
+/// Closed-loop client load; returns (ok, err, elapsed_secs).
+fn drive_load(addr: SocketAddr, num_users: usize) -> (u64, u64, f64) {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        // PAR: benchmark client threads generating socket load against the
+        // server under test — not kernel work.
+        handles.push(std::thread::spawn(move || {
+            let (mut ok, mut err) = (0u64, 0u64);
+            for r in 0..REQUESTS_PER_CLIENT {
+                let user = (c * REQUESTS_PER_CLIENT + r * 7) % num_users;
+                let k = 5 + (r % 3) * 5;
+                match http_get(addr, &format!("/recommend?user={user}&k={k}")) {
+                    Ok((200, _)) => ok += 1,
+                    _ => err += 1,
+                }
+            }
+            (ok, err)
+        }));
+    }
+    let (mut ok, mut err) = (0u64, 0u64);
+    for h in handles {
+        match h.join() {
+            Ok((o, e)) => {
+                ok += o;
+                err += e;
+            }
+            Err(_) => err += REQUESTS_PER_CLIENT as u64,
+        }
+    }
+    (ok, err, started.elapsed().as_secs_f64())
+}
+
+/// Malformed-request smoke: every probe must yield a well-formed JSON
+/// error response (correct 4xx status, `"error"` key) with the server
+/// still healthy afterwards. Returns the number of failed expectations.
+fn malformed_smoke(addr: SocketAddr) -> usize {
+    let mut failures = 0;
+    let expect_status = |target: &str, want: u16, failures: &mut usize| match http_get(addr, target)
+    {
+        Ok((status, body)) if status == want && body.contains("\"error\"") => {}
+        Ok((status, body)) => {
+            eprintln!("smoke: {target} -> {status} {body:?}, wanted {want} with an error key");
+            *failures += 1;
+        }
+        Err(e) => {
+            eprintln!("smoke: {target} -> transport error {e}");
+            *failures += 1;
+        }
+    };
+    expect_status("/recommend", 400, &mut failures); // missing user
+    expect_status("/recommend?user=abc", 400, &mut failures);
+    expect_status("/recommend?user=0&k=0", 400, &mut failures);
+    expect_status("/recommend?user=999999", 404, &mut failures); // unknown user
+    expect_status("/recommend?user=0&frob=1", 400, &mut failures);
+    expect_status("/nope", 404, &mut failures);
+    // Raw garbage: not even an HTTP request line.
+    match http_raw(addr, b"\x00\x01\x02 garbage \xff\xfe\r\n\r\n") {
+        Ok(raw) if raw.starts_with("HTTP/1.1 400") => {}
+        Ok(raw) => {
+            eprintln!("smoke: garbage bytes -> {raw:?}, wanted a 400");
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("smoke: garbage bytes -> transport error {e}");
+            failures += 1;
+        }
+    }
+    // POST is unsupported and must be rejected cleanly.
+    match http_raw(addr, b"POST /recommend HTTP/1.1\r\n\r\n") {
+        Ok(raw) if raw.starts_with("HTTP/1.1 400") => {}
+        Ok(raw) => {
+            eprintln!("smoke: POST -> {raw:?}, wanted a 400");
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("smoke: POST -> transport error {e}");
+            failures += 1;
+        }
+    }
+    // The server must still answer after all of the above.
+    match http_get(addr, "/health") {
+        Ok((200, _)) => {}
+        other => {
+            eprintln!("smoke: /health after abuse -> {other:?}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Times the heap-based partial top-K against a full per-row sort with the
+/// same total order — the selection strategy the eval loop replaced.
+/// Returns (topk_secs, sort_secs) over an identical random score matrix.
+fn topk_vs_sort(rows: usize, cols: usize, k: usize) -> (f64, f64) {
+    let mut state = 0x5EED_0BAD_u64;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        data.push(((state >> 33) as f32) / (u32::MAX as f32));
+    }
+    let m = Matrix::from_vec(rows, cols, data);
+    let t0 = Instant::now();
+    let top = top_k_rows(&m, k);
+    let topk_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut sorted_first = Vec::new();
+    for r in 0..rows {
+        let row = m.row(r);
+        let mut order: Vec<u32> = (0..cols as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b))
+        });
+        sorted_first.push(order[0]);
+    }
+    let sort_secs = t1.elapsed().as_secs_f64();
+    // Keep the sort honest (no dead-code elimination) and cross-check the
+    // kernel: both strategies must agree on every row's best entry.
+    for (r, &first) in sorted_first.iter().enumerate() {
+        assert_eq!(top.indices(r)[0], first, "top-K vs sort disagree on row {r}");
+    }
+    (topk_secs, sort_secs)
+}
+
+/// Pulls the `serve/qps` gauge out of a baseline snapshot file with the
+/// same targeted scan the profile check uses.
+fn baseline_qps(json: &str) -> Option<f64> {
+    let key = "\"serve/qps\"";
+    let tail = &json[json.find(key)? + key.len()..];
+    let number: String = tail
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    number.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_path = args.iter().position(|a| a == "--check").map(|i| {
+        // PANICS: a trailing --check with no path is an operator error on
+        // the command line; there is nothing to recover.
+        args.get(i + 1).unwrap_or_else(|| panic!("loadgen: --check requires a path argument"))
+    });
+
+    println!("=== Serving load harness (tiny dataset, quick DGNN) ===");
+    let data = tiny(SEED);
+    let mut model = Dgnn::new(quick_dgnn());
+    model.fit(&data, SEED);
+
+    std::fs::create_dir_all("results").expect("loadgen: creating results dir");
+    let ckpt_path = std::path::Path::new("results/dgnn.ckpt");
+    model.save_checkpoint(&data.name, ckpt_path).expect("loadgen: writing checkpoint");
+    let ckpt_bytes = std::fs::metadata(ckpt_path).map(|m| m.len()).unwrap_or(0);
+
+    let engine = Engine::load(ckpt_path).expect("loadgen: loading checkpoint");
+    let num_users = engine.num_users();
+    // Cross-check one query against the server later.
+    let reference = engine
+        .recommend(Query { user: 0, k: 10, exclude_seen: false })
+        .expect("loadgen: reference query");
+
+    let server = Server::start(engine, ServeConfig::default()).expect("loadgen: binding server");
+    let addr = server.addr();
+    println!(
+        "serving {} users from {} ({ckpt_bytes} bytes) at http://{addr}",
+        num_users,
+        ckpt_path.display()
+    );
+
+    let smoke_failures = malformed_smoke(addr);
+    let (ok, err, elapsed) = drive_load(addr, num_users);
+    println!(
+        "load: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests -> {ok} ok / {err} err \
+         in {elapsed:.2}s ({:.0} qps)",
+        (ok + err) as f64 / elapsed.max(1e-9)
+    );
+
+    // Served result == direct engine result for the same query.
+    let mut consistency_failures = 0;
+    match http_get(addr, "/recommend?user=0&k=10") {
+        Ok((200, body)) => {
+            let expect_items: Vec<String> = reference.iter().map(|s| s.item.to_string()).collect();
+            let needle = format!("\"items\":[{}]", expect_items.join(","));
+            if !body.contains(&needle) {
+                eprintln!("consistency: served {body:?} does not contain {needle:?}");
+                consistency_failures += 1;
+            }
+        }
+        other => {
+            eprintln!("consistency: reference request failed: {other:?}");
+            consistency_failures += 1;
+        }
+    }
+
+    let stats = server.stats();
+    server.shutdown();
+
+    let (topk_secs, sort_secs) = topk_vs_sort(256, 4096, 20);
+    let speedup = sort_secs / topk_secs.max(1e-9);
+    println!(
+        "top-K kernel: {:.1} ms vs full sort {:.1} ms on 256x4096 @ k=20 ({speedup:.1}x)",
+        topk_secs * 1e3,
+        sort_secs * 1e3
+    );
+
+    // Fold everything into one obs snapshot (enablement is thread-local,
+    // so publishing happens here on the main thread).
+    dgnn_obs::reset();
+    dgnn_obs::enable();
+    let summary = stats.publish(elapsed);
+    dgnn_obs::gauge_set("serve/clients", CLIENTS as f64);
+    dgnn_obs::gauge_set("serve/requests_per_client", REQUESTS_PER_CLIENT as f64);
+    dgnn_obs::gauge_set("serve/checkpoint_bytes", ckpt_bytes as f64);
+    dgnn_obs::gauge_set("serve/topk_speedup_vs_sort", speedup);
+    dgnn_obs::counter_add("serve/smoke_failures", smoke_failures as u64);
+    dgnn_obs::counter_add("serve/consistency_failures", consistency_failures);
+    let snapshot = dgnn_obs::snapshot();
+    dgnn_obs::disable();
+    dgnn_obs::reset();
+    println!(
+        "latency p50/p95/p99: {:.2}/{:.2}/{:.2} ms, mean batch {:.2} over {} dispatches",
+        summary.latency_ms.0,
+        summary.latency_ms.1,
+        summary.latency_ms.2,
+        summary.batch_size_mean,
+        summary.batches
+    );
+
+    if smoke_failures > 0 || consistency_failures > 0 {
+        eprintln!(
+            "FAIL: {smoke_failures} malformed-request smoke failure(s), \
+             {consistency_failures} consistency failure(s)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = check_path {
+        if ok == 0 {
+            eprintln!("REGRESSION serve: zero successful requests");
+            return ExitCode::FAILURE;
+        }
+        let json = std::fs::read_to_string(path).expect("loadgen: reading baseline file");
+        let Some(base) = baseline_qps(&json) else {
+            eprintln!("REGRESSION serve: serve/qps missing from baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let qps = (ok + err) as f64 / elapsed.max(1e-9);
+        let floor = base * (1.0 - REGRESSION_BUDGET);
+        if qps < floor {
+            eprintln!(
+                "REGRESSION serve: {qps:.0} qps is more than {:.0}% below baseline {base:.0} \
+                 (floor {floor:.0})",
+                100.0 * REGRESSION_BUDGET
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("qps check passed against {path} ({qps:.0} vs baseline {base:.0})");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut out = String::from("{\n  \"models\": {\n");
+    out.push_str(&format!("    \"DGNN-serve\": {}\n", snapshot_to_json(&snapshot, 4).trim_start()));
+    out.push_str("  }\n}\n");
+    std::fs::write("BENCH_serve.json", out).expect("loadgen: writing BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json and results/dgnn.ckpt");
+    ExitCode::SUCCESS
+}

@@ -128,6 +128,59 @@ impl DgnnConfig {
         }
     }
 
+    /// Serializes every field as `(key, value)` pairs for checkpoint
+    /// metadata. Floats use Rust's shortest round-trip formatting, so
+    /// [`DgnnConfig::from_meta`] reconstructs them bit-exactly.
+    pub fn to_meta(&self) -> Vec<(String, String)> {
+        vec![
+            ("cfg/dim".into(), self.dim.to_string()),
+            ("cfg/layers".into(), self.layers.to_string()),
+            ("cfg/memory_units".into(), self.memory_units.to_string()),
+            ("cfg/learning_rate".into(), self.learning_rate.to_string()),
+            ("cfg/weight_decay".into(), self.weight_decay.to_string()),
+            ("cfg/epochs".into(), self.epochs.to_string()),
+            ("cfg/batch_size".into(), self.batch_size.to_string()),
+            ("cfg/leaky_slope".into(), self.leaky_slope.to_string()),
+            ("cfg/use_memory".into(), self.use_memory.to_string()),
+            ("cfg/use_recalibration".into(), self.use_recalibration.to_string()),
+            ("cfg/use_layer_norm".into(), self.use_layer_norm.to_string()),
+            ("cfg/use_social".into(), self.use_social.to_string()),
+            ("cfg/use_knowledge".into(), self.use_knowledge.to_string()),
+            ("cfg/use_memory_plan".into(), self.use_memory_plan.to_string()),
+            ("cfg/threads".into(), self.threads.to_string()),
+        ]
+    }
+
+    /// Rebuilds a configuration from checkpoint metadata (`lookup` maps a
+    /// key like `cfg/dim` to its stored value). Every field is required;
+    /// a missing or unparsable entry names itself in the error.
+    pub fn from_meta(lookup: &dyn Fn(&str) -> Option<String>) -> Result<Self, String> {
+        fn get<T: std::str::FromStr>(
+            lookup: &dyn Fn(&str) -> Option<String>,
+            key: &str,
+        ) -> Result<T, String> {
+            let raw = lookup(key).ok_or_else(|| format!("missing config entry {key:?}"))?;
+            raw.parse().map_err(|_| format!("unparsable config entry {key:?} = {raw:?}"))
+        }
+        Ok(Self {
+            dim: get(lookup, "cfg/dim")?,
+            layers: get(lookup, "cfg/layers")?,
+            memory_units: get(lookup, "cfg/memory_units")?,
+            learning_rate: get(lookup, "cfg/learning_rate")?,
+            weight_decay: get(lookup, "cfg/weight_decay")?,
+            epochs: get(lookup, "cfg/epochs")?,
+            batch_size: get(lookup, "cfg/batch_size")?,
+            leaky_slope: get(lookup, "cfg/leaky_slope")?,
+            use_memory: get(lookup, "cfg/use_memory")?,
+            use_recalibration: get(lookup, "cfg/use_recalibration")?,
+            use_layer_norm: get(lookup, "cfg/use_layer_norm")?,
+            use_social: get(lookup, "cfg/use_social")?,
+            use_knowledge: get(lookup, "cfg/use_knowledge")?,
+            use_memory_plan: get(lookup, "cfg/use_memory_plan")?,
+            threads: get(lookup, "cfg/threads")?,
+        })
+    }
+
     /// Validates invariants; call before training.
     ///
     /// # Panics
@@ -184,5 +237,24 @@ mod tests {
     #[should_panic(expected = "dim must be positive")]
     fn zero_dim_rejected() {
         DgnnConfig { dim: 0, ..DgnnConfig::default() }.validate();
+    }
+
+    #[test]
+    fn meta_round_trip_is_exact() {
+        let cfg = DgnnConfig {
+            learning_rate: 0.012_345_679,
+            weight_decay: 3.3e-7,
+            ..DgnnConfig::default().without_layer_norm().with_threads(4)
+        };
+        let meta: std::collections::BTreeMap<String, String> = cfg.to_meta().into_iter().collect();
+        let back = DgnnConfig::from_meta(&|k| meta.get(k).cloned()).unwrap();
+        assert_eq!(cfg, back);
+        assert_eq!(cfg.learning_rate.to_bits(), back.learning_rate.to_bits());
+    }
+
+    #[test]
+    fn from_meta_names_the_missing_field() {
+        let err = DgnnConfig::from_meta(&|_| None).unwrap_err();
+        assert!(err.contains("cfg/dim"), "got {err}");
     }
 }

@@ -394,6 +394,120 @@ impl Dgnn {
         self.params = params;
     }
 
+    /// Serializes the trained model — every parameter, the final
+    /// propagated embeddings, the recalibration matrix τ (when enabled),
+    /// and the per-user seen-item lists — into a [`Checkpoint`].
+    ///
+    /// A serving [`dgnn_serve::Engine`] built from this checkpoint
+    /// re-applies the Eq. 9–10 recalibration with the same spmm/add
+    /// kernels `finalize` used and scores with the same sequential dot
+    /// product, so served scores are bit-identical to
+    /// [`Recommender::score`] on this model.
+    ///
+    /// [`Checkpoint`]: dgnn_serve::Checkpoint
+    ///
+    /// # Panics
+    /// Panics if the model has not been trained.
+    pub fn export_checkpoint(&self, dataset: &str) -> dgnn_serve::Checkpoint {
+        assert!(!self.user_scoring.is_empty(), "export_checkpoint before fit");
+        // PANICS: user_scoring is only non-empty after init_params + finalize,
+        // so trained state implies handles exist.
+        let handles = self.handles.as_ref().expect("trained model has handles");
+        let mut ckpt = dgnn_serve::Checkpoint::new();
+        ckpt.set_meta("model", self.name());
+        ckpt.set_meta("dataset", dataset);
+        for (k, v) in self.cfg.to_meta() {
+            ckpt.set_meta(&k, &v);
+        }
+        for id in self.params.ids() {
+            ckpt.push_matrix(&format!("param/{}", self.params.name(id)), self.params.value(id));
+        }
+        ckpt.push_matrix("final/user", &self.user_final);
+        ckpt.push_matrix("final/user_scoring", &self.user_scoring);
+        ckpt.push_matrix("final/item", &self.item_final);
+        ckpt.push_matrix("final/attn_social", &self.attn_social);
+        ckpt.push_matrix("final/attn_interaction", &self.attn_interaction);
+        if self.cfg.use_recalibration {
+            let tau = handles.adj.tau.as_ref();
+            ckpt.push_u32("tau/indptr", tau.row_ptr().iter().map(|&p| p as u32).collect());
+            ckpt.push_u32("tau/cols", tau.col_idx().iter().map(|&c| c as u32).collect());
+            ckpt.push_f32("tau/values", 1, tau.nnz(), tau.values().to_vec());
+        }
+        // Seen lists come from the user←item adjacency's structure: the
+        // columns of row u are exactly u's training interactions.
+        let uv = handles.adj.uv.as_ref();
+        let mut indptr = Vec::with_capacity(uv.rows() + 1);
+        let mut items = Vec::with_capacity(uv.nnz());
+        indptr.push(0u32);
+        for u in 0..uv.rows() {
+            items.extend(uv.row_cols(u).iter().map(|&v| v as u32));
+            indptr.push(items.len() as u32);
+        }
+        ckpt.push_u32("seen/indptr", indptr);
+        ckpt.push_u32("seen/items", items);
+        ckpt
+    }
+
+    /// [`Dgnn::export_checkpoint`] + write to `path`.
+    ///
+    /// # Panics
+    /// Panics if the model has not been trained.
+    pub fn save_checkpoint(
+        &self,
+        dataset: &str,
+        path: &std::path::Path,
+    ) -> Result<(), dgnn_serve::CheckpointError> {
+        self.export_checkpoint(dataset).save(path)
+    }
+
+    /// Restores a model from a checkpoint written by
+    /// [`Dgnn::save_checkpoint`]: the configuration, every parameter (in
+    /// registration order, under their original names), and the cached
+    /// final embeddings — [`Recommender::score`] answers immediately and
+    /// bit-identically to the saved model.
+    ///
+    /// The graph handles are *not* restored (they derive from a dataset,
+    /// not from parameters); refitting re-initializes from the dataset as
+    /// usual.
+    pub fn load_checkpoint(path: &std::path::Path) -> Result<Self, dgnn_serve::CheckpointError> {
+        use dgnn_serve::CheckpointError;
+        let ckpt = dgnn_serve::Checkpoint::load(path)?;
+        match ckpt.meta("model") {
+            Some("DGNN") => {}
+            other => {
+                return Err(CheckpointError::MetaMismatch(format!(
+                    "expected model=DGNN, found {other:?}"
+                )))
+            }
+        }
+        let cfg = DgnnConfig::from_meta(&|k| ckpt.meta(k).map(str::to_string))
+            .map_err(CheckpointError::MetaMismatch)?;
+        let mut model = Dgnn::new(cfg);
+        for t in ckpt.tensors() {
+            if let Some(name) = t.name.strip_prefix("param/") {
+                model.params.add(name, ckpt.matrix(&t.name)?);
+            }
+        }
+        model.user_final = ckpt.matrix("final/user")?;
+        model.user_scoring = ckpt.matrix("final/user_scoring")?;
+        model.item_final = ckpt.matrix("final/item")?;
+        model.attn_social = ckpt.matrix("final/attn_social")?;
+        model.attn_interaction = ckpt.matrix("final/attn_interaction")?;
+        // The scorer dots user_scoring rows against item_final rows, so the
+        // two caches must agree on width (the *concatenated* final dim —
+        // wider than cfg/dim, which is the per-layer width).
+        if model.user_scoring.cols() != model.item_final.cols()
+            || model.user_scoring.is_empty()
+        {
+            return Err(CheckpointError::BadShape(format!(
+                "scoring dims disagree: user {} vs item {}",
+                model.user_scoring.cols(),
+                model.item_final.cols()
+            )));
+        }
+        Ok(model)
+    }
+
     /// Recomputes and caches the final embeddings and attention dumps from
     /// the current parameters.
     fn finalize(&mut self) {

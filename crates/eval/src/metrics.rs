@@ -1,6 +1,16 @@
 //! HR@N and NDCG@N (the paper's Eq. 12).
+//!
+//! Ranking runs on the serving tier's heap-based partial top-K kernel
+//! ([`dgnn_tensor::top_k_row`], `O(c · log N)` per case) rather than a
+//! full sort or an `O(c·N)` counting sweep per cutoff. The protocol is
+//! unchanged: candidates are scored positive-first, then *reordered
+//! positive-last* before selection, so the kernel's ascending-index
+//! tie-break makes every tied negative outrank the positive — exactly the
+//! conservative ties-against-the-positive convention (verified against a
+//! counting oracle by a proptest below).
 
 use dgnn_data::TestInstance;
+use dgnn_tensor::top_k_row;
 
 use crate::Recommender;
 
@@ -18,14 +28,26 @@ pub struct RankingMetrics {
     pub ndcg: f64,
 }
 
-/// Rank (1-based) of the positive among the candidates.
+/// Rank (1-based) of the positive (`scores[0]`) among the candidates when
+/// it lands in the top `n`, else `None`.
 ///
 /// Ties are broken *against* the positive (a tied negative outranks it),
 /// the conservative convention — a model must strictly separate the
-/// positive to get credit.
-fn positive_rank(scores: &[f32]) -> usize {
-    let pos = scores[0];
-    1 + scores[1..].iter().filter(|&&s| s >= pos).count()
+/// positive to get credit. Implemented by reordering the row positive-last
+/// and running the heap-based partial top-`n` select: the kernel's total
+/// order (score descending, index ascending on ties) then places every
+/// tied negative ahead of the positive, so the positive's 1-based position
+/// in the selected prefix *is* its conservative rank.
+fn positive_rank_within(scores: &[f32], n: usize) -> Option<usize> {
+    let mut row = Vec::with_capacity(scores.len());
+    row.extend_from_slice(&scores[1..]);
+    row.push(scores[0]);
+    let k = n.min(row.len());
+    let mut idx = vec![0u32; k];
+    let mut sel = vec![0f32; k];
+    top_k_row(&row, &mut idx, &mut sel);
+    let positive = (row.len() - 1) as u32;
+    idx.iter().position(|&i| i == positive).map(|p| p + 1)
 }
 
 /// Evaluates a model at one cutoff.
@@ -38,8 +60,7 @@ pub fn evaluate_at(model: &dyn Recommender, test: &[TestInstance], n: usize) -> 
         let candidates: Vec<usize> = case.candidates().map(|v| v as usize).collect();
         let scores = model.score(case.user as usize, &candidates);
         debug_assert_eq!(scores.len(), candidates.len(), "score length mismatch");
-        let rank = positive_rank(&scores);
-        if rank <= n {
+        if let Some(rank) = positive_rank_within(&scores, n) {
             hits += 1.0;
             gain += 1.0 / ((rank as f64) + 1.0).log2();
         }
@@ -48,19 +69,22 @@ pub fn evaluate_at(model: &dyn Recommender, test: &[TestInstance], n: usize) -> 
     RankingMetrics { hr: hits / m, ndcg: gain / m }
 }
 
-/// Evaluates at all of the paper's cutoffs ([`TOP_NS`]) in one pass over
-/// the scores.
+/// Evaluates at all of the paper's cutoffs ([`TOP_NS`]) with one top-K
+/// select per case (at the largest cutoff; the smaller cutoffs are
+/// prefixes of the same selection because the order is total).
 pub fn evaluate(model: &dyn Recommender, test: &[TestInstance]) -> [RankingMetrics; 3] {
     assert!(!test.is_empty(), "evaluate: empty test set");
+    let n_max = TOP_NS[TOP_NS.len() - 1];
     let mut out = [RankingMetrics::default(); 3];
     for case in test {
         let candidates: Vec<usize> = case.candidates().map(|v| v as usize).collect();
         let scores = model.score(case.user as usize, &candidates);
-        let rank = positive_rank(&scores);
-        for (slot, &n) in out.iter_mut().zip(TOP_NS.iter()) {
-            if rank <= n {
-                slot.hr += 1.0;
-                slot.ndcg += 1.0 / ((rank as f64) + 1.0).log2();
+        if let Some(rank) = positive_rank_within(&scores, n_max) {
+            for (slot, &n) in out.iter_mut().zip(TOP_NS.iter()) {
+                if rank <= n {
+                    slot.hr += 1.0;
+                    slot.ndcg += 1.0 / ((rank as f64) + 1.0).log2();
+                }
             }
         }
     }
@@ -166,5 +190,32 @@ mod tests {
     #[should_panic(expected = "empty test set")]
     fn empty_test_panics() {
         evaluate_at(&Oracle, &[], 10);
+    }
+
+    /// The counting implementation the kernel-based path replaced — kept
+    /// as the oracle: rank = 1 + |{negatives with score ≥ positive}|.
+    fn counting_rank(scores: &[f32]) -> usize {
+        let pos = scores[0];
+        1 + scores[1..].iter().filter(|&&s| s >= pos).count()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        #[test]
+        fn kernel_rank_matches_counting_oracle(
+            raw in proptest::collection::vec(0u32..16, 2..40),
+            n in 1usize..25,
+        ) {
+            // Quantized scores force plenty of exact ties, the case where
+            // the two conventions could diverge.
+            let scores: Vec<f32> = raw.iter().map(|&q| q as f32 * 0.5 - 4.0).collect();
+            let oracle = counting_rank(&scores);
+            let got = positive_rank_within(&scores, n);
+            if oracle <= n.min(scores.len()) {
+                proptest::prop_assert_eq!(got, Some(oracle));
+            } else {
+                proptest::prop_assert_eq!(got, None);
+            }
+        }
     }
 }

@@ -1,0 +1,403 @@
+//! Offline-to-online bridge: load a checkpoint once, answer top-K queries.
+//!
+//! The engine materializes the post-message-passing embeddings at load
+//! time — including the social recalibration of Eq. 9–10 when the
+//! checkpoint carries the τ matrix (`user_scoring = user + τ·user`,
+//! recomputed with the *same* spmm/add kernels training used, so serving
+//! scores are bit-identical to the in-memory model's). Queries then reduce
+//! to one user×item `matmul_nt` and a heap-based partial top-K select,
+//! both row-parallel and deterministic, with optional seen-item filtering.
+//!
+//! Because every row is a pure function of the loaded embeddings, batched
+//! answers are independent of batch composition: coalescing queries in the
+//! micro-batcher cannot change any individual result.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use dgnn_tensor::{top_k_rows, Csr, CsrBuilder, Matrix};
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+
+/// A single top-K request against the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// User index.
+    pub user: u32,
+    /// Number of items requested.
+    pub k: usize,
+    /// Drop items the user already interacted with (training edges).
+    pub exclude_seen: bool,
+}
+
+/// One recommended item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredItem {
+    /// Item index.
+    pub item: u32,
+    /// Predicted preference score.
+    pub score: f32,
+}
+
+/// Why a query could not be answered. Maps onto 4xx responses — never a
+/// panic — in the HTTP layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The user index is outside the trained embedding table.
+    UnknownUser {
+        /// Requested user.
+        user: u32,
+        /// Number of users the model was trained on.
+        num_users: usize,
+    },
+    /// `k` is zero or exceeds the item count.
+    BadK {
+        /// Requested k.
+        k: usize,
+        /// Number of items the model was trained on.
+        num_items: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownUser { user, num_users } => {
+                write!(f, "unknown user {user} (model has {num_users} users)")
+            }
+            Self::BadK { k, num_items } => {
+                write!(f, "invalid k = {k} (must be in 1..={num_items})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// In-memory inference state: precomputed scoring embeddings plus the
+/// per-user seen-item lists.
+pub struct Engine {
+    meta: BTreeMap<String, String>,
+    /// User scoring embeddings — recalibrated when τ was stored.
+    user: Matrix,
+    /// Final propagated item embeddings.
+    item: Matrix,
+    /// CSR-style seen lists: items of user `u` are
+    /// `seen_items[seen_indptr[u]..seen_indptr[u+1]]`. Empty when the
+    /// checkpoint carried no interaction lists.
+    seen_indptr: Vec<u32>,
+    seen_items: Vec<u32>,
+}
+
+impl Engine {
+    /// Builds an engine from a parsed checkpoint.
+    ///
+    /// Expects `final/item` plus one of (in preference order):
+    /// `final/user` + the `tau/{indptr,cols,values}` CSR triple
+    /// (recalibration re-applied at load time), `final/user_scoring`
+    /// (pre-recalibrated), or bare `final/user`.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
+        let item = ckpt.matrix("final/item")?;
+        let user = if ckpt.tensor("tau/indptr").is_some() {
+            let base = ckpt.matrix("final/user")?;
+            let tau = load_csr(ckpt, "tau", base.rows(), base.rows())?;
+            // Same kernels, same order as Dgnn::finalize: u + τ·u.
+            base.add(&tau.spmm(&base))
+        } else if ckpt.tensor("final/user_scoring").is_some() {
+            ckpt.matrix("final/user_scoring")?
+        } else {
+            ckpt.matrix("final/user")?
+        };
+        if user.cols() != item.cols() {
+            return Err(CheckpointError::BadShape(format!(
+                "user dim {} != item dim {}",
+                user.cols(),
+                item.cols()
+            )));
+        }
+        let (seen_indptr, seen_items) = match ckpt.tensor("seen/indptr") {
+            Some(_) => {
+                let indptr = ckpt.u32s("seen/indptr")?.to_vec();
+                let items = ckpt.u32s("seen/items")?.to_vec();
+                validate_lists(&indptr, &items, user.rows(), item.rows())?;
+                (indptr, items)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        Ok(Self { meta: ckpt.meta_entries().map(|(k, v)| (k.to_string(), v.to_string())).collect(), user, item, seen_indptr, seen_items })
+    }
+
+    /// Loads a checkpoint file and builds the engine.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Self::from_checkpoint(&Checkpoint::load(path)?)
+    }
+
+    /// Metadata entry from the source checkpoint (e.g. `model`).
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(String::as_str)
+    }
+
+    /// Number of users the model covers.
+    pub fn num_users(&self) -> usize {
+        self.user.rows()
+    }
+
+    /// Number of items the model covers.
+    pub fn num_items(&self) -> usize {
+        self.item.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.item.cols()
+    }
+
+    /// The user's training interactions (empty when unknown or unstored).
+    pub fn seen(&self, user: u32) -> &[u32] {
+        let u = user as usize;
+        if u + 1 >= self.seen_indptr.len() {
+            return &[];
+        }
+        &self.seen_items[self.seen_indptr[u] as usize..self.seen_indptr[u + 1] as usize]
+    }
+
+    fn check(&self, q: &Query) -> Result<(), QueryError> {
+        if (q.user as usize) >= self.num_users() {
+            return Err(QueryError::UnknownUser { user: q.user, num_users: self.num_users() });
+        }
+        if q.k == 0 || q.k > self.num_items() {
+            return Err(QueryError::BadK { k: q.k, num_items: self.num_items() });
+        }
+        Ok(())
+    }
+
+    /// Full score row for one user — the serving-side equivalent of the
+    /// model's dot-product scorer over every item.
+    pub fn scores_for(&self, user: u32) -> Result<Vec<f32>, QueryError> {
+        self.check(&Query { user, k: 1, exclude_seen: false })?;
+        let rows = self.user.gather_rows(&[user as usize]);
+        Ok(rows.matmul_nt(&self.item).as_slice().to_vec())
+    }
+
+    /// Answers one query. Equivalent to a single-element
+    /// [`Engine::recommend_batch`].
+    pub fn recommend(&self, q: Query) -> Result<Vec<ScoredItem>, QueryError> {
+        match self.recommend_batch(&[q]).pop() {
+            Some(r) => r,
+            // SERVE: unreachable by construction — recommend_batch returns
+            // exactly one result per input query; fail soft regardless.
+            None => Err(QueryError::BadK { k: q.k, num_items: self.num_items() }),
+        }
+    }
+
+    /// Answers a batch of queries with ONE gathered user×item `matmul_nt`
+    /// and ONE top-K select at the batch's maximum `k` (per-query results
+    /// are truncated prefixes — sound because the selection order is
+    /// total). Each query's result is independent of its batch-mates.
+    pub fn recommend_batch(&self, queries: &[Query]) -> Vec<Result<Vec<ScoredItem>, QueryError>> {
+        let mut out: Vec<Result<Vec<ScoredItem>, QueryError>> = Vec::with_capacity(queries.len());
+        let mut valid: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match self.check(q) {
+                Ok(()) => {
+                    valid.push(i);
+                    out.push(Ok(Vec::new()));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        if valid.is_empty() {
+            return out;
+        }
+        let users: Vec<usize> = valid.iter().map(|&i| queries[i].user as usize).collect();
+        let mut scores = self.user.gather_rows(&users).matmul_nt(&self.item);
+        for (row, &i) in valid.iter().enumerate() {
+            if queries[i].exclude_seen {
+                let r = scores.row_mut(row);
+                for &it in self.seen(queries[i].user) {
+                    if let Some(s) = r.get_mut(it as usize) {
+                        *s = f32::NEG_INFINITY;
+                    }
+                }
+            }
+        }
+        let k_max = valid.iter().map(|&i| queries[i].k).max().unwrap_or(1);
+        let top = top_k_rows(&scores, k_max);
+        for (row, &i) in valid.iter().enumerate() {
+            let items: Vec<ScoredItem> = top
+                .row(row)
+                .take(queries[i].k)
+                .filter(|&(_, s)| s > f32::NEG_INFINITY)
+                .map(|(item, score)| ScoredItem { item, score })
+                .collect();
+            out[i] = Ok(items);
+        }
+        out
+    }
+}
+
+/// Rebuilds a CSR stored as the `{prefix}/{indptr,cols,values}` triple.
+/// `CsrBuilder::build` sorts and merges — the stored arrays are already
+/// sorted and merged (they came from a built CSR), so the reconstruction
+/// is exact.
+fn load_csr(ckpt: &Checkpoint, prefix: &str, rows: usize, cols: usize) -> Result<Csr, CheckpointError> {
+    let indptr = ckpt.u32s(&format!("{prefix}/indptr"))?;
+    let col_idx = ckpt.u32s(&format!("{prefix}/cols"))?;
+    let values = ckpt.f32s(&format!("{prefix}/values"))?;
+    if indptr.len() != rows + 1 || col_idx.len() != values.len() {
+        return Err(CheckpointError::BadShape(format!(
+            "{prefix}: indptr len {} (want {}), cols len {}, values len {}",
+            indptr.len(),
+            rows + 1,
+            col_idx.len(),
+            values.len()
+        )));
+    }
+    let nnz = *indptr.last().unwrap_or(&0) as usize;
+    if nnz != col_idx.len() {
+        return Err(CheckpointError::BadShape(format!(
+            "{prefix}: indptr terminates at {nnz} but {} columns stored",
+            col_idx.len()
+        )));
+    }
+    let mut b = CsrBuilder::new(rows, cols);
+    for r in 0..rows {
+        let (lo, hi) = (indptr[r] as usize, indptr[r + 1] as usize);
+        if lo > hi || hi > col_idx.len() {
+            return Err(CheckpointError::BadShape(format!("{prefix}: indptr not monotone at row {r}")));
+        }
+        for j in lo..hi {
+            let c = col_idx[j] as usize;
+            if c >= cols {
+                return Err(CheckpointError::BadShape(format!(
+                    "{prefix}: column {c} out of bounds ({cols}) at row {r}"
+                )));
+            }
+            b.push(r, c, values[j]);
+        }
+    }
+    Ok(b.build())
+}
+
+fn validate_lists(indptr: &[u32], items: &[u32], users: usize, num_items: usize) -> Result<(), CheckpointError> {
+    if indptr.len() != users + 1 {
+        return Err(CheckpointError::BadShape(format!(
+            "seen/indptr len {} (want {})",
+            indptr.len(),
+            users + 1
+        )));
+    }
+    if indptr.windows(2).any(|w| w[0] > w[1]) || *indptr.last().unwrap_or(&0) as usize != items.len() {
+        return Err(CheckpointError::BadShape("seen/indptr not a monotone prefix-sum of seen/items".into()));
+    }
+    if items.iter().any(|&it| it as usize >= num_items) {
+        return Err(CheckpointError::BadShape("seen/items contains an out-of-range item".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny engine: 3 users × 4 items, identity-ish embeddings with a seen
+    /// list for user 0.
+    fn tiny() -> Engine {
+        let mut c = Checkpoint::new();
+        c.set_meta("model", "TEST");
+        c.push_matrix(
+            "final/user_scoring",
+            &Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]),
+        );
+        c.push_matrix(
+            "final/item",
+            &Matrix::from_vec(4, 2, vec![3.0, 0.0, 2.0, 0.0, 1.0, 0.0, 0.0, 5.0]),
+        );
+        c.push_u32("seen/indptr", vec![0, 1, 1, 1]);
+        c.push_u32("seen/items", vec![0]);
+        Engine::from_checkpoint(&c).unwrap()
+    }
+
+    #[test]
+    fn recommends_by_descending_score() {
+        let e = tiny();
+        let r = e.recommend(Query { user: 0, k: 3, exclude_seen: false }).unwrap();
+        assert_eq!(
+            r,
+            vec![
+                ScoredItem { item: 0, score: 3.0 },
+                ScoredItem { item: 1, score: 2.0 },
+                ScoredItem { item: 2, score: 1.0 }
+            ]
+        );
+    }
+
+    #[test]
+    fn seen_filtering_drops_training_items() {
+        let e = tiny();
+        let r = e.recommend(Query { user: 0, k: 2, exclude_seen: true }).unwrap();
+        assert_eq!(r[0].item, 1, "item 0 is seen and must be filtered");
+        assert_eq!(r[1].item, 2);
+    }
+
+    #[test]
+    fn filtered_rows_never_leak_neg_infinity() {
+        let e = tiny();
+        // k = all items; the seen item vanishes rather than surfacing -inf.
+        let r = e.recommend(Query { user: 0, k: 4, exclude_seen: true }).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|s| s.item != 0 && s.score.is_finite()));
+    }
+
+    #[test]
+    fn batch_results_match_singles() {
+        let e = tiny();
+        let qs = [
+            Query { user: 2, k: 4, exclude_seen: false },
+            Query { user: 99, k: 2, exclude_seen: false },
+            Query { user: 1, k: 1, exclude_seen: false },
+        ];
+        let batch = e.recommend_batch(&qs);
+        assert_eq!(batch[0], e.recommend(qs[0]));
+        assert!(matches!(batch[1], Err(QueryError::UnknownUser { user: 99, .. })));
+        assert_eq!(batch[2], e.recommend(qs[2]));
+    }
+
+    #[test]
+    fn bad_k_is_rejected() {
+        let e = tiny();
+        assert!(matches!(
+            e.recommend(Query { user: 0, k: 0, exclude_seen: false }),
+            Err(QueryError::BadK { .. })
+        ));
+        assert!(matches!(
+            e.recommend(Query { user: 0, k: 5, exclude_seen: false }),
+            Err(QueryError::BadK { .. })
+        ));
+    }
+
+    #[test]
+    fn tau_recalibration_applied_at_load() {
+        let mut c = Checkpoint::new();
+        // 2 users, 1 item, dim 1. τ row 0 = {1: 0.5} ⇒ u0' = 1 + 0.5·2 = 2.
+        c.push_matrix("final/user", &Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        c.push_matrix("final/item", &Matrix::from_vec(1, 1, vec![1.0]));
+        c.push_u32("tau/indptr", vec![0, 1, 1]);
+        c.push_u32("tau/cols", vec![1]);
+        c.push_f32("tau/values", 1, 1, vec![0.5]);
+        let e = Engine::from_checkpoint(&c).unwrap();
+        assert_eq!(e.scores_for(0).unwrap(), vec![2.0]);
+        assert_eq!(e.scores_for(1).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn malformed_seen_lists_err_not_panic() {
+        let mut c = Checkpoint::new();
+        c.push_matrix("final/user_scoring", &Matrix::from_vec(1, 1, vec![1.0]));
+        c.push_matrix("final/item", &Matrix::from_vec(1, 1, vec![1.0]));
+        c.push_u32("seen/indptr", vec![0, 5]);
+        c.push_u32("seen/items", vec![0]);
+        assert!(matches!(Engine::from_checkpoint(&c), Err(CheckpointError::BadShape(_))));
+    }
+}

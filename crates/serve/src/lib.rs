@@ -1,0 +1,63 @@
+//! Checkpointing and online top-K inference serving for the DGNN stack.
+//!
+//! Four layers, zero external dependencies (std + workspace crates only):
+//!
+//! 1. [`checkpoint`] — a versioned, checksummed little-endian binary
+//!    format for named tensors plus model metadata. Loading untrusted
+//!    bytes returns [`CheckpointError`], never panics.
+//! 2. [`engine`] — loads a checkpoint, materializes the post-propagation
+//!    scoring embeddings once (re-applying the Eq. 9–10 social
+//!    recalibration when τ is stored), and answers top-K queries with a
+//!    batched `matmul_nt` + heap-based partial select — bit-identical to
+//!    the in-memory model's scorer at any thread count or batch shape.
+//! 3. [`http`] — a std-only HTTP/1.1 server with a fixed worker pool and
+//!    a micro-batcher coalescing concurrent queries into one engine
+//!    dispatch per tick; malformed input gets JSON 4xx/5xx, never a panic.
+//! 4. Stats ([`stats`]) — latency/batch-size samples published through the
+//!    `dgnn-obs` snapshot pipeline so serve benchmarks share the schema of
+//!    the training profiles.
+//!
+//! Models expose their state either through the generic
+//! [`dgnn_eval::EmbeddingExport`] path ([`export_recommender`], for plain
+//! dot-product scorers like NGCF/GCCF) or through model-specific methods
+//! (`Dgnn::save_checkpoint`, which additionally stores every parameter,
+//! the τ matrix, and the users' seen-item lists).
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod engine;
+pub mod http;
+pub mod stats;
+
+use std::path::Path;
+
+use dgnn_eval::EmbeddingExport;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use engine::{Engine, Query, QueryError, ScoredItem};
+pub use http::{ServeConfig, Server};
+pub use stats::{ServerStats, StatsSummary};
+
+/// Builds a checkpoint from any dot-product recommender's final
+/// embeddings. The loaded [`Engine`] then scores exactly like the model's
+/// `score` (same sequential dot product), so round-trips are bit-exact.
+pub fn export_recommender(model: &impl EmbeddingExport, dataset: &str) -> Checkpoint {
+    let (user, item) = model.embeddings();
+    let mut ckpt = Checkpoint::new();
+    ckpt.set_meta("model", model.name());
+    ckpt.set_meta("dataset", dataset);
+    ckpt.set_meta("dim", &item.cols().to_string());
+    ckpt.push_matrix("final/user", user);
+    ckpt.push_matrix("final/item", item);
+    ckpt
+}
+
+/// [`export_recommender`] + [`Checkpoint::save`] in one call.
+pub fn save_recommender(
+    model: &impl EmbeddingExport,
+    dataset: &str,
+    path: &Path,
+) -> Result<(), CheckpointError> {
+    export_recommender(model, dataset).save(path)
+}

@@ -1,0 +1,172 @@
+//! Serving-side metrics: request latencies, batch sizes, outcome counts.
+//!
+//! Worker and batcher threads record raw samples here (one mutex-guarded
+//! push per event — the mutex is uncontended at benchmark concurrency and
+//! keeps the recorder allocation-predictable). [`ServerStats::publish`]
+//! later folds the samples into the process-wide `dgnn-obs` registry *on
+//! the calling thread* (obs enablement is thread-local), emitting
+//! histograms plus p50/p95/p99 gauges so `BENCH_serve.json` flows through
+//! the same pinned `snapshot_to_json` schema as `BENCH_profile.json`.
+
+use std::sync::Mutex;
+
+/// Shared collector for one server's lifetime.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// End-to-end request latencies, microseconds.
+    latency_us: Vec<u64>,
+    /// Number of queries coalesced per engine dispatch.
+    batch_sizes: Vec<u32>,
+    ok: u64,
+    err: u64,
+}
+
+/// Point-in-time summary of the collected samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSummary {
+    /// Requests answered with a 2xx.
+    pub ok: u64,
+    /// Requests answered with a 4xx/5xx.
+    pub err: u64,
+    /// Latency percentiles in milliseconds: (p50, p95, p99).
+    pub latency_ms: (f64, f64, f64),
+    /// Mean coalesced batch size.
+    pub batch_size_mean: f64,
+    /// Number of engine dispatches.
+    pub batches: u64,
+}
+
+impl ServerStats {
+    /// Fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned mutex only means a panicking thread held it; the
+        // sample vectors are still structurally valid, so keep serving.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, latency_us: u64, ok: bool) {
+        let mut g = self.lock();
+        g.latency_us.push(latency_us);
+        if ok {
+            g.ok += 1;
+        } else {
+            g.err += 1;
+        }
+    }
+
+    /// Records the size of one coalesced engine dispatch.
+    pub fn record_batch(&self, size: usize) {
+        self.lock().batch_sizes.push(size as u32);
+    }
+
+    /// Summarizes everything recorded so far.
+    pub fn summary(&self) -> StatsSummary {
+        let g = self.lock();
+        let mut lat = g.latency_us.clone();
+        lat.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = (q * (lat.len() - 1) as f64).round() as usize;
+            lat[idx.min(lat.len() - 1)] as f64 / 1000.0
+        };
+        let batches = g.batch_sizes.len() as u64;
+        let batch_size_mean = if batches == 0 {
+            0.0
+        } else {
+            g.batch_sizes.iter().map(|&b| f64::from(b)).sum::<f64>() / batches as f64
+        };
+        StatsSummary {
+            ok: g.ok,
+            err: g.err,
+            latency_ms: (pct(0.50), pct(0.95), pct(0.99)),
+            batch_size_mean,
+            batches,
+        }
+    }
+
+    /// Publishes the collected samples into the thread-local `dgnn-obs`
+    /// registry: `serve/latency_ms` + `serve/batch_size` histograms,
+    /// `serve/latency_ms_{p50,p95,p99}`, `serve/qps`, and
+    /// `serve/batch_size_mean` gauges, `serve/requests_{ok,err}` counters.
+    /// Call from a thread with obs enabled (enablement is thread-local).
+    pub fn publish(&self, elapsed_secs: f64) -> StatsSummary {
+        let s = self.summary();
+        {
+            let g = self.lock();
+            for &us in &g.latency_us {
+                dgnn_obs::hist_record("serve/latency_ms", us as f64 / 1000.0);
+            }
+            for &b in &g.batch_sizes {
+                dgnn_obs::hist_record("serve/batch_size", f64::from(b));
+            }
+        }
+        dgnn_obs::counter_add("serve/requests_ok", s.ok);
+        dgnn_obs::counter_add("serve/requests_err", s.err);
+        dgnn_obs::gauge_set("serve/latency_ms_p50", s.latency_ms.0);
+        dgnn_obs::gauge_set("serve/latency_ms_p95", s.latency_ms.1);
+        dgnn_obs::gauge_set("serve/latency_ms_p99", s.latency_ms.2);
+        dgnn_obs::gauge_set("serve/batch_size_mean", s.batch_size_mean);
+        let qps = if elapsed_secs > 0.0 { (s.ok + s.err) as f64 / elapsed_secs } else { 0.0 };
+        dgnn_obs::gauge_set("serve/qps", qps);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_folds_counts_and_percentiles() {
+        let s = ServerStats::new();
+        for us in [1000, 2000, 3000, 4000, 100_000] {
+            s.record_request(us, true);
+        }
+        s.record_request(500, false);
+        s.record_batch(2);
+        s.record_batch(4);
+        let sum = s.summary();
+        assert_eq!(sum.ok, 5);
+        assert_eq!(sum.err, 1);
+        assert_eq!(sum.batches, 2);
+        assert!((sum.batch_size_mean - 3.0).abs() < 1e-12);
+        // p50 of [0.5, 1, 2, 3, 4, 100] ms with rounding index 3 (0-based
+        // round(0.5 * 5) = 3) is 3 ms; p99 lands on the max.
+        assert!((sum.latency_ms.0 - 3.0).abs() < 1e-9, "p50 was {}", sum.latency_ms.0);
+        assert!((sum.latency_ms.2 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_summary_is_zeroed() {
+        assert_eq!(ServerStats::new().summary(), StatsSummary::default());
+    }
+
+    #[test]
+    fn publish_feeds_the_obs_registry() {
+        dgnn_obs::reset();
+        dgnn_obs::enable();
+        let s = ServerStats::new();
+        s.record_request(2000, true);
+        s.record_batch(1);
+        let sum = s.publish(2.0);
+        dgnn_obs::disable();
+        let snap = dgnn_obs::snapshot();
+        dgnn_obs::reset();
+        assert_eq!(sum.ok, 1);
+        assert_eq!(snap.counters.get("serve/requests_ok"), Some(&1));
+        assert!(snap.gauges.contains_key("serve/qps"));
+        assert!(snap.histograms.contains_key("serve/latency_ms"));
+    }
+}

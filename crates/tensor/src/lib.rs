@@ -18,11 +18,13 @@ mod init;
 pub mod parallel;
 mod pool;
 mod sparse;
+pub mod topk;
 
 pub use dense::{stable_sigmoid, Matrix};
 pub use init::{xavier_uniform, Init};
 pub use pool::{alloc_counters, recycle, recycle_vec, reset_alloc_counters, BufferPool};
 pub use sparse::{Csr, CsrBuilder};
+pub use topk::{top_k_row, top_k_rows, TopK};
 
 /// Numerical tolerance used by approximate-equality helpers in tests.
 pub const TEST_EPS: f32 = 1e-4;
