@@ -24,9 +24,11 @@ impl AuditReport {
         &self.diags
     }
 
-    /// True when the graph passed every check.
+    /// True when the graph passed every check. Advisory findings (missed
+    /// optimizations such as common subexpressions or foldable subgraphs)
+    /// do not count against cleanliness.
     pub fn is_clean(&self) -> bool {
-        self.diags.is_empty()
+        self.diags.iter().all(|d| d.kind.is_advisory())
     }
 
     /// Number of findings of one kind.
@@ -167,6 +169,58 @@ pub fn audit(
                 node.op, node.shape
             ),
         });
+    }
+
+    // --- advisories: missed optimizations --------------------------------
+    // Reuse the optimizer's own analyses (the independence requirement is
+    // between the optimizer and its *checker*; the audit may share freely)
+    // so the advisories and the rewrite plan can never disagree about what
+    // is foldable or congruent.
+    let invariant = crate::optimizer::mark_invariant(nodes);
+    // Report only fold *sinks* — invariant interiors no invariant interior
+    // consumes — and size the whole region behind each; interior nodes
+    // would be noise.
+    let mut fed_into_invariant = vec![false; nodes.len()];
+    for (c, node) in nodes.iter().enumerate() {
+        if invariant[c] && node.op != "constant" {
+            for &i in &node.inputs {
+                fed_into_invariant[i] = true;
+            }
+        }
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        if !invariant[i] || node.op == "constant" || !live[i] || fed_into_invariant[i] {
+            continue;
+        }
+        let cone = ancestors(tracer, [i]);
+        let size = cone.iter().zip(&invariant).filter(|(c, v)| **c && **v).count();
+        report.diags.push(Diagnostic {
+            kind: DiagnosticKind::FoldableSubgraph,
+            node: Some(i),
+            op: Some(node.op),
+            message: format!(
+                "training-invariant subgraph of {size} node(s) ending at `{}` {:?} is \
+                 recomputed every step; the graph optimizer would fold it \
+                 (enable with_graph_opt)",
+                node.op, node.shape
+            ),
+        });
+    }
+    let vn = crate::optimizer::value_numbers(nodes, &vec![false; nodes.len()]);
+    for (i, node) in nodes.iter().enumerate() {
+        let rep = vn[i] as usize;
+        if rep != i && live[i] {
+            report.diags.push(Diagnostic {
+                kind: DiagnosticKind::CommonSubexpression,
+                node: Some(i),
+                op: Some(node.op),
+                message: format!(
+                    "node {i} (`{}` {:?}) recomputes the value of node {rep}; the graph \
+                     optimizer would serve it as a copy (enable with_graph_opt)",
+                    node.op, node.shape
+                ),
+            });
+        }
     }
 
     report

@@ -1,0 +1,510 @@
+//! Graph-optimizing compiler passes over a traced step: constant folding,
+//! common-subexpression elimination, and op fusion.
+//!
+//! The optimizer consumes the same [`ShapeTracer`] graph the memory planner
+//! does and emits a [`RewritePlan`] — a per-node action table the tape
+//! executes as *patches* over the original graph. No node is renumbered or
+//! removed: an action only changes how that node's forward value is
+//! produced, so gradients, the memory plan, and every downstream consumer
+//! carry over unchanged and optimized execution stays bit-identical to
+//! unoptimized execution.
+//!
+//! # The passes
+//!
+//! 1. **Constant folding** ([`RewriteAction::Fold`]): training-invariant
+//!    subgraphs — nodes whose transitive leaves are all constants, with no
+//!    parameter, dropout, or per-batch-payload op (`gather`, segment ops)
+//!    in the cone — are hoisted into a cross-step fold cache. The first
+//!    step computes and caches them; every later step serves the cached
+//!    value after verifying the cached operands still match bit-for-bit.
+//!    `spmm` *is* foldable: its adjacency is a persistent `Rc<Csr>` shared
+//!    across steps, which is exactly what the runtime verifier keys on.
+//! 2. **CSE** ([`RewriteAction::CopyOf`]): value numbering keyed on
+//!    `(op, attr, canonical input numbers, param id)` finds nodes that
+//!    provably recompute an earlier node's value; duplicates become pooled
+//!    copies of the representative. Constants and dropout never participate
+//!    (the runtime congruence verifier refuses them), and folded nodes are
+//!    served from the cache already.
+//! 3. **Op fusion** ([`RewriteAction::Steal`] / [`RewriteAction::Stream`] /
+//!    [`RewriteAction::ElideGather`] + [`RewriteAction::GatherMatMul`]):
+//!    * a `gather` feeding exactly one `matmul` outside the loss cone is
+//!      elided entirely — the fused kernel reads the gathered rows straight
+//!      out of the embedding table;
+//!    * elementwise epilogues (`add`, `sub`, `add_row`, `scale`, `neg`,
+//!      `add_scalar`) whose first operand is statically dead afterwards
+//!      steal that operand's buffer and run in place — fusing
+//!      `matmul → add → …` chains without a second allocation;
+//!    * remaining broadcast ops (`add_row`, `mul_row`, `mul_col`) stream
+//!      through a single-pass lowered kernel instead of clone-then-update.
+//!
+//! Every emitted plan must still be proven sound by the *independent*
+//! [`crate::check_rewrites`] before a trainer may execute it; the two
+//! modules deliberately share no code.
+
+use std::collections::HashMap;
+
+use dgnn_autograd::meta::{grad_reads, InputReads};
+use dgnn_autograd::{ParamId, RewriteAction, RewritePlan, Var};
+
+use crate::tracer::ShapeTracer;
+
+/// What the optimizer did to one graph, for reports and gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerStats {
+    /// Nodes in the traced graph.
+    pub nodes_before: usize,
+    /// Nodes that still recompute their value every step after rewriting
+    /// (`Compute`/`Steal`/`Stream`/`GatherMatMul`); folded nodes, CSE
+    /// copies, and elided gathers no longer do.
+    pub nodes_after: usize,
+    /// Training-invariant interior nodes hoisted into the fold cache
+    /// (constant leaves that merely validate the cache are not counted).
+    pub folded: usize,
+    /// Nodes rewritten to pooled copies of an earlier congruent node.
+    pub cse_hits: usize,
+    /// Fused ops: buffer steals + streamed broadcasts + gather→matmul pairs.
+    pub fused: usize,
+}
+
+/// Ops whose cone must not be folded: their payload (`Rc` index / segment
+/// vectors, dropout masks) is rebuilt per batch, so a cached value would
+/// never verify and the fold slot would refresh every step for nothing.
+fn blocks_folding(op: &str) -> bool {
+    matches!(op, "param" | "dropout" | "gather" | "segment_softmax" | "segment_weighted_sum")
+}
+
+/// Ops the tape can evaluate in place in their first operand's buffer.
+fn steal_epilogue(op: &str) -> bool {
+    matches!(op, "add" | "sub" | "add_row" | "scale" | "neg" | "add_scalar")
+}
+
+/// Ops with a single-pass streaming kernel.
+fn streamable(op: &str) -> bool {
+    matches!(op, "add_row" | "mul_row" | "mul_col")
+}
+
+/// Nodes from which `root` is reachable along input edges (the "cone" the
+/// reverse sweep can visit), including `root` itself.
+fn ancestors_of(nodes: &[crate::tracer::TraceNode], root: usize) -> Vec<bool> {
+    let mut marked = vec![false; nodes.len()];
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut marked[i], true) {
+            continue;
+        }
+        stack.extend(nodes[i].inputs.iter().copied());
+    }
+    marked
+}
+
+/// Per-node training-invariance: true when the node's value is identical
+/// across steps — every transitive leaf is a constant and no per-batch op
+/// sits in the cone. Shared with the audit's foldable-subgraph advisory.
+pub(crate) fn mark_invariant(nodes: &[crate::tracer::TraceNode]) -> Vec<bool> {
+    let mut inv = vec![false; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        inv[i] = if node.op == "constant" {
+            true
+        } else if blocks_folding(node.op) {
+            false
+        } else {
+            !node.inputs.is_empty() && node.inputs.iter().all(|&j| inv[j])
+        };
+    }
+    inv
+}
+
+/// CSE value numbering: returns `vn[i]` — the index of the earliest node
+/// provably computing the same value as `i`. Nodes in `skip` (folded,
+/// non-participating) number as themselves. Shared with the audit's
+/// common-subexpression advisory.
+pub(crate) fn value_numbers(nodes: &[crate::tracer::TraceNode], skip: &[bool]) -> Vec<u32> {
+    #[derive(PartialEq, Eq, Hash)]
+    struct Key {
+        op: &'static str,
+        attr: u64,
+        inputs: Vec<u32>,
+        param: Option<ParamId>,
+    }
+    let mut table: HashMap<Key, u32> = HashMap::new();
+    let mut vn = vec![0u32; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        vn[i] = i as u32;
+        // The runtime congruence verifier refuses constants (no cheap value
+        // identity) and dropout (fresh mask per step); skip them here so the
+        // plan never claims a copy the tape would reject.
+        if matches!(node.op, "constant" | "dropout") || skip[i] {
+            continue;
+        }
+        let key = Key {
+            op: node.op,
+            attr: node.attr,
+            inputs: node.inputs.iter().map(|&j| vn[j]).collect(),
+            param: node.param,
+        };
+        match table.get(&key) {
+            Some(&rep) => vn[i] = rep,
+            None => {
+                table.insert(key, i as u32);
+            }
+        }
+    }
+    vn
+}
+
+/// Computes a rewrite plan for a traced step.
+///
+/// * `loss` — the scalar the trainer differentiates; fusion legality
+///   depends on which nodes the reverse sweep can read.
+/// * `outputs` — nodes the caller reads after the step; they are pinned,
+///   so their buffers are never stolen and their gathers never elided.
+///
+/// The returned plan is a *claim*. Callers must prove it with the
+/// independent [`crate::check_rewrites`] before execution — the training
+/// harness refuses unproven plans. (The tape additionally re-verifies every
+/// action at run time and falls back to plain recomputation, so even a
+/// stale plan costs speed, never bits.)
+///
+/// # Panics
+/// Panics if `loss` or any output is out of range for the trace.
+pub fn optimize(tracer: &ShapeTracer, loss: Var, outputs: &[Var]) -> (RewritePlan, OptimizerStats) {
+    let nodes = tracer.nodes();
+    let n = nodes.len();
+    let l = loss.index();
+    assert!(l < n, "loss node {l} out of range for a trace of {n} nodes");
+
+    let mut pinned = vec![false; n];
+    pinned[l] = true;
+    for v in outputs {
+        assert!(v.index() < n, "output node {} out of range for a trace of {n} nodes", v.index());
+        pinned[v.index()] = true;
+    }
+
+    let mut actions = vec![RewriteAction::Compute; n];
+    let mut stats = OptimizerStats { nodes_before: n, ..OptimizerStats::default() };
+
+    // --- pass 1: constant folding ------------------------------------------
+    // Fold every invariant interior node, plus the constant leaves feeding
+    // the folded region: the tape only serves a cached slot when *all* of a
+    // node's inputs are themselves verified-valid fold slots this step, so
+    // the region must be input-closed down to its leaves.
+    let invariant = mark_invariant(nodes);
+    let mut in_fold_region = vec![false; n];
+    for i in 0..n {
+        if invariant[i] && nodes[i].op != "constant" {
+            in_fold_region[i] = true;
+            for &j in &nodes[i].inputs {
+                if nodes[j].op == "constant" {
+                    in_fold_region[j] = true;
+                }
+            }
+        }
+    }
+    let mut num_fold_slots = 0u32;
+    for i in 0..n {
+        if in_fold_region[i] {
+            // REWRITE: each folded node gets its own cache slot; the slot is
+            // verified against the node's operands before every reuse.
+            actions[i] = RewriteAction::Fold(num_fold_slots);
+            num_fold_slots += 1;
+            if nodes[i].op != "constant" {
+                stats.folded += 1;
+            }
+        }
+    }
+
+    // --- pass 2: common-subexpression elimination --------------------------
+    // Folded nodes are already served from the cache; excluding them also
+    // keeps the fold region input-closed (a CopyOf inside it would break
+    // the all-inputs-are-valid-slots invariant the tape checks).
+    let vn = value_numbers(nodes, &in_fold_region);
+    for i in 0..n {
+        let rep = vn[i] as usize;
+        if rep != i {
+            actions[i] = RewriteAction::CopyOf(vn[i]);
+            stats.cse_hits += 1;
+        }
+    }
+
+    // --- pass 3: op fusion --------------------------------------------------
+    // Liveness bookkeeping the steal rule needs: every consumer of each
+    // node, and the loss cone (which decides backward reads).
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (c, node) in nodes.iter().enumerate() {
+        for &i in &node.inputs {
+            consumers[i].push(c);
+        }
+    }
+    let anc_of_loss = ancestors_of(nodes, l);
+
+    // 3a: gather→matmul. A gather whose *only* reader is one matmul's left
+    // operand, outside the loss cone (matmul backward reads both input
+    // values, which would need the elided gather materialized), never needs
+    // a value at all: the fused kernel multiplies straight out of the table.
+    for m in 0..n {
+        if nodes[m].op != "matmul" || actions[m] != RewriteAction::Compute {
+            continue;
+        }
+        let (g, b) = (nodes[m].inputs[0], nodes[m].inputs[1]);
+        if nodes[g].op != "gather"
+            || g == b
+            || actions[g] != RewriteAction::Compute
+            || pinned[g]
+            || anc_of_loss[m]
+            || consumers[g].len() != 1
+        {
+            continue;
+        }
+        // Nothing may copy from the elided gather either.
+        let copied = (0..n).any(|k| actions[k] == RewriteAction::CopyOf(g as u32));
+        if copied {
+            continue;
+        }
+        actions[g] = RewriteAction::ElideGather;
+        actions[m] = RewriteAction::GatherMatMul;
+        stats.fused += 1;
+    }
+
+    // 3b: in-place epilogues. Node i may steal src = inputs[0]'s buffer when
+    // that buffer is provably dead after i: no later forward reader (plain
+    // consumers, CSE copiers, fused matmuls reading an elided gather's
+    // table), no backward reader anywhere (backward runs after all forward
+    // steps), not pinned, and exactly one steal per source.
+    let mut stolen = vec![false; n];
+    // Forward read times beyond the consumer list: CSE copies read their
+    // source at copy time; a fused matmul reads the elided gather's table.
+    let mut extra_read_until = vec![0usize; n];
+    for k in 0..n {
+        match actions[k] {
+            RewriteAction::CopyOf(j) => {
+                extra_read_until[j as usize] = extra_read_until[j as usize].max(k);
+            }
+            RewriteAction::GatherMatMul => {
+                let g = nodes[k].inputs[0];
+                let table = nodes[g].inputs[0];
+                extra_read_until[table] = extra_read_until[table].max(k);
+            }
+            _ => {}
+        }
+    }
+    let backward_reads_value = |src: usize| -> bool {
+        // Any consumer in the loss cone whose gradient rule reads src's
+        // value keeps the buffer alive into the reverse sweep — as does
+        // src's own output-reading gradient (e.g. sigmoid) when src itself
+        // is in the cone.
+        for &c in &consumers[src] {
+            if !anc_of_loss[c] {
+                continue;
+            }
+            let reads = grad_reads(nodes[c].op);
+            let hit = match reads.inputs {
+                InputReads::None => false,
+                InputReads::First => nodes[c].inputs.first() == Some(&src),
+                InputReads::All => true,
+            };
+            if hit {
+                return true;
+            }
+        }
+        anc_of_loss[src] && grad_reads(nodes[src].op).output
+    };
+    for i in 0..n {
+        if actions[i] != RewriteAction::Compute || !steal_epilogue(nodes[i].op) {
+            continue;
+        }
+        let src = nodes[i].inputs[0];
+        // The in-place kernels require a distinct right-hand operand.
+        if nodes[i].inputs.len() > 1 && nodes[i].inputs[1] == src {
+            continue;
+        }
+        let last_forward_read =
+            consumers[src].iter().copied().max().unwrap_or(src).max(extra_read_until[src]);
+        if pinned[src]
+            || stolen[src]
+            || actions[src] == RewriteAction::ElideGather
+            || last_forward_read != i
+            || backward_reads_value(src)
+        {
+            continue;
+        }
+        actions[i] = RewriteAction::Steal;
+        stolen[src] = true;
+        stats.fused += 1;
+    }
+
+    // 3c: streaming kernels for whatever broadcasts remain.
+    for i in 0..n {
+        if actions[i] == RewriteAction::Compute && streamable(nodes[i].op) {
+            actions[i] = RewriteAction::Stream;
+            stats.fused += 1;
+        }
+    }
+
+    stats.nodes_after = actions
+        .iter()
+        .filter(|a| {
+            matches!(
+                a,
+                RewriteAction::Compute
+                    | RewriteAction::Steal
+                    | RewriteAction::Stream
+                    | RewriteAction::GatherMatMul
+            )
+        })
+        .count();
+
+    // REWRITE: the action table is lowered here and nowhere else; the
+    // independent checker proves it before any trainer executes it.
+    (RewritePlan::new(actions, num_fold_slots), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use dgnn_autograd::{ParamSet, Recorder};
+    use dgnn_tensor::{Init, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn invariant_constant_chains_fold_and_verify() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = params.add("w", Init::Uniform(0.5).build(4, 4, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let c1 = tr.constant(Matrix::full(4, 4, 0.25));
+        let c2 = tr.constant(Matrix::full(4, 4, 0.5));
+        let pre = tr.add(c1, c2); // invariant interior
+        let nrm = tr.l2_normalize_rows(pre, 1e-6); // still invariant
+        let wv = tr.param(&params, w);
+        let h = tr.matmul(nrm, wv);
+        let s = tr.sigmoid(h);
+        let loss = tr.mean_all(s);
+
+        let (plan, stats) = optimize(&tr, loss, &[]);
+        assert_eq!(stats.folded, 2, "add + l2_normalize_rows should fold");
+        assert!(matches!(plan.action(pre.index()), RewriteAction::Fold(_)));
+        assert!(matches!(plan.action(nrm.index()), RewriteAction::Fold(_)));
+        assert!(matches!(plan.action(c1.index()), RewriteAction::Fold(_)));
+        assert!(matches!(plan.action(h.index()), RewriteAction::Compute | RewriteAction::Steal));
+        assert!(crate::check_rewrites(&tr, loss, &[], &plan).is_ok());
+    }
+
+    #[test]
+    fn duplicate_subexpressions_become_copies() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = params.add("w", Init::Uniform(0.5).build(3, 3, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let wv = tr.param(&params, w);
+        let s1 = tr.sigmoid(wv);
+        let s2 = tr.sigmoid(wv); // recomputes s1
+        let both = tr.mul(s1, s2);
+        let loss = tr.mean_all(both);
+
+        let (plan, stats) = optimize(&tr, loss, &[]);
+        assert_eq!(plan.action(s2.index()), RewriteAction::CopyOf(s1.index() as u32));
+        assert!(stats.cse_hits >= 1);
+        assert!(stats.nodes_after < stats.nodes_before);
+        assert!(crate::check_rewrites(&tr, loss, &[], &plan).is_ok());
+    }
+
+    #[test]
+    fn dead_first_operands_are_stolen_but_live_ones_are_not() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = params.add("x", Init::Uniform(0.5).build(4, 4, &mut rng));
+        let w = params.add("w", Init::Uniform(0.5).build(4, 4, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let xv = tr.param(&params, x);
+        let wv = tr.param(&params, w);
+        let h = tr.matmul(xv, wv);
+        // h's only reader; gradients of add read nothing: the matmul's
+        // buffer dies here and the neg runs in place.
+        let shifted = tr.neg(h);
+        // `mul` gradients read both operands, so `shifted` stays live into
+        // backward and must NOT be stolen by the scale below.
+        let sq = tr.mul(shifted, shifted);
+        let sc = tr.scale(shifted, 0.5);
+        let merged = tr.add(sq, sc);
+        let loss = tr.mean_all(merged);
+
+        let (plan, stats) = optimize(&tr, loss, &[]);
+        assert_eq!(plan.action(shifted.index()), RewriteAction::Steal, "neg should steal h");
+        assert_ne!(plan.action(sc.index()), RewriteAction::Steal, "shifted is read in backward");
+        assert!(stats.fused >= 1);
+        assert!(crate::check_rewrites(&tr, loss, &[], &plan).is_ok());
+    }
+
+    #[test]
+    fn eval_only_gathers_fuse_into_their_matmul() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let emb = params.add("emb", Init::Uniform(0.5).build(10, 4, &mut rng));
+        let w = params.add("w", Init::Uniform(0.5).build(4, 4, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let table = tr.param(&params, emb);
+        let wv = tr.param(&params, w);
+        // Eval-only scoring branch: gather → matmul, declared an output.
+        let idx = std::rc::Rc::new(vec![1usize, 3, 5]);
+        let g = tr.gather(table, idx);
+        let scores = tr.matmul(g, wv);
+        // The loss path never sees the scoring branch.
+        let h = tr.matmul(table, wv);
+        let s = tr.sigmoid(h);
+        let loss = tr.mean_all(s);
+
+        let (plan, stats) = optimize(&tr, loss, &[scores]);
+        assert_eq!(plan.action(g.index()), RewriteAction::ElideGather);
+        assert_eq!(plan.action(scores.index()), RewriteAction::GatherMatMul);
+        assert!(stats.fused >= 1);
+        assert!(crate::check_rewrites(&tr, loss, &[scores], &plan).is_ok());
+    }
+
+    #[test]
+    fn gathers_in_the_loss_cone_are_left_alone() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let emb = params.add("emb", Init::Uniform(0.5).build(10, 4, &mut rng));
+        let w = params.add("w", Init::Uniform(0.5).build(4, 4, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let table = tr.param(&params, emb);
+        let wv = tr.param(&params, w);
+        let idx = std::rc::Rc::new(vec![1usize, 3, 5]);
+        let g = tr.gather(table, idx);
+        let h = tr.matmul(g, wv);
+        let s = tr.sigmoid(h);
+        let loss = tr.mean_all(s);
+
+        let (plan, _) = optimize(&tr, loss, &[]);
+        assert_eq!(plan.action(g.index()), RewriteAction::Compute);
+        assert_ne!(plan.action(h.index()), RewriteAction::GatherMatMul);
+        assert!(crate::check_rewrites(&tr, loss, &[], &plan).is_ok());
+    }
+
+    #[test]
+    fn broadcasts_stream_and_plans_stay_provable() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = params.add("x", Init::Uniform(0.5).build(4, 4, &mut rng));
+        let b = params.add("b", Init::Uniform(0.5).build(1, 4, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let xv = tr.param(&params, x);
+        let bv = tr.param(&params, b);
+        let sq = tr.mul(xv, xv); // keeps xv alive into backward
+        let shifted = tr.add_row(sq, bv);
+        let loss = tr.mean_all(shifted);
+
+        let (plan, stats) = optimize(&tr, loss, &[]);
+        assert!(matches!(
+            plan.action(shifted.index()),
+            RewriteAction::Steal | RewriteAction::Stream
+        ));
+        assert!(stats.fused >= 1);
+        assert!(crate::check_rewrites(&tr, loss, &[], &plan).is_ok());
+        // The rewrite-aware memory plan must also prove out.
+        let mplan = crate::plan_with_rewrites(&tr, loss, &[], &plan);
+        assert!(crate::check_plan_with_rewrites(&tr, loss, &[], &plan, &mplan).is_ok());
+    }
+}

@@ -17,7 +17,10 @@
 //!   processes node `j`; it reads the inputs named by `grad_reads(op_j)`,
 //!   its own output when the rule differentiates through it
 //!   (e.g. `sigmoid`), and nothing else. Events only occur for
-//!   `j ≤ loss.index()` — the reverse sweep starts at the loss.
+//!   `j ≤ loss.index()` — the reverse sweep starts at the loss — and only
+//!   nodes *inside the loss cone* read values there: a node with no path
+//!   to the loss never receives a gradient, so dead subgraphs and
+//!   eval-only outputs never hold buffers into the reverse sweep.
 //!
 //! A node's *last use* is the latest time any of those reads touches its
 //! value; past it the value is provably dead and its buffer can be recycled.
@@ -34,7 +37,7 @@
 use std::collections::BTreeMap;
 
 use dgnn_autograd::meta::{grad_reads, InputReads};
-use dgnn_autograd::{TapePlan, Var};
+use dgnn_autograd::{RewriteAction, RewritePlan, TapePlan, Var};
 
 use crate::tracer::ShapeTracer;
 
@@ -168,6 +171,30 @@ impl MemoryPlan {
 /// # Panics
 /// Panics if `loss` or any output is out of range for the trace.
 pub fn plan(tracer: &ShapeTracer, loss: Var, outputs: &[Var]) -> MemoryPlan {
+    plan_impl(tracer, loss, outputs, None)
+}
+
+/// [`plan`] for a graph that will execute under a [`RewritePlan`]: rewrite
+/// actions introduce forward reads the bare trace does not show (a CSE copy
+/// reads its source at copy time; a fused gather→matmul reads the gather's
+/// table at matmul time), and the planner must keep those values alive
+/// through them — otherwise the runtime verifier would find the source
+/// retired and fall back to recomputation every step.
+pub fn plan_with_rewrites(
+    tracer: &ShapeTracer,
+    loss: Var,
+    outputs: &[Var],
+    rewrites: &RewritePlan,
+) -> MemoryPlan {
+    plan_impl(tracer, loss, outputs, Some(rewrites))
+}
+
+fn plan_impl(
+    tracer: &ShapeTracer,
+    loss: Var,
+    outputs: &[Var],
+    rewrites: Option<&RewritePlan>,
+) -> MemoryPlan {
     let nodes = tracer.nodes();
     let n = nodes.len();
     let l = loss.index();
@@ -180,6 +207,20 @@ pub fn plan(tracer: &ShapeTracer, loss: Var, outputs: &[Var]) -> MemoryPlan {
         pinned[v.index()] = true;
     }
 
+    // Gradients only ever reach nodes from which the loss is reachable, so
+    // a backward event reads values only for nodes inside the loss cone —
+    // dead subgraphs and eval-only outputs never extend a live range into
+    // the reverse sweep. (The event itself still fires for every c ≤ loss,
+    // so backward *frees* on dead nodes remain well-formed.)
+    let mut grad_live = vec![false; n];
+    let mut stack = vec![l];
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut grad_live[i], true) {
+            continue;
+        }
+        stack.extend(nodes[i].inputs.iter().copied());
+    }
+
     // --- last-use analysis -----------------------------------------------
     // Initialise to birth time: an unread value dies the moment it exists.
     let mut last_use: Vec<usize> = (0..n).collect();
@@ -188,8 +229,9 @@ pub fn plan(tracer: &ShapeTracer, loss: Var, outputs: &[Var]) -> MemoryPlan {
         for &i in &node.inputs {
             last_use[i] = last_use[i].max(c);
         }
-        // Backward: the event for node c only exists when c ≤ loss.
-        if c <= l {
+        // Backward: the event for node c only exists when c ≤ loss, and
+        // only reads values when a gradient can reach c at all.
+        if c <= l && grad_live[c] {
             let t = 2 * n - 1 - c;
             let reads = grad_reads(node.op);
             match reads.inputs {
@@ -212,6 +254,26 @@ pub fn plan(tracer: &ShapeTracer, loss: Var, outputs: &[Var]) -> MemoryPlan {
     }
     // The reverse sweep reads the loss value itself before it starts.
     last_use[l] = last_use[l].max(2 * n - 1 - l);
+
+    // Rewrite-induced forward reads the bare trace does not show.
+    if let Some(rw) = rewrites {
+        for k in 0..n {
+            match rw.action(k) {
+                RewriteAction::CopyOf(j) => {
+                    let j = j as usize;
+                    last_use[j] = last_use[j].max(k);
+                }
+                RewriteAction::GatherMatMul => {
+                    // The fused matmul reads the elided gather's table.
+                    let g = nodes[k].inputs[0];
+                    if let Some(&table) = nodes[g].inputs.first() {
+                        last_use[table] = last_use[table].max(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
 
     // --- free points -------------------------------------------------------
     let free: Vec<FreePoint> = (0..n)
@@ -348,6 +410,32 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn dead_branches_free_in_forward_not_backward() {
+        use dgnn_tensor::Matrix;
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = params.add("x", Init::Uniform(0.5).build(4, 4, &mut rng));
+        let mut tr = ShapeTracer::new();
+        let xv = tr.param(&params, x);
+        let c = tr.constant(Matrix::full(4, 4, 0.5));
+        // Dead branch: `mul` gradients read both operands, but no gradient
+        // ever reaches this node — the constant must not be held into the
+        // reverse sweep on its account.
+        let dead = tr.mul(xv, c);
+        let s = tr.sigmoid(xv);
+        let loss = tr.mean_all(s);
+
+        let p = plan(&tr, loss, &[]);
+        assert!(
+            matches!(p.nodes()[c.index()].free, FreePoint::Forward(_)),
+            "dead mul's constant operand held into backward: {:?}",
+            p.nodes()[c.index()].free
+        );
+        assert!(matches!(p.nodes()[dead.index()].free, FreePoint::Forward(_)));
+        assert!(crate::check_plan(&tr, loss, &[], &p).is_ok());
     }
 
     #[test]

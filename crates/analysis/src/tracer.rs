@@ -32,6 +32,15 @@ pub enum DiagnosticKind {
     /// unbounded input (overflow), or `ln`/`div`/`sqrt` of a value not
     /// provably bounded away from zero / non-negative (−∞, ±∞, NaN).
     UnstableDomain,
+    /// Advisory: a node provably recomputes an earlier node's value — the
+    /// graph optimizer's CSE pass would serve it as a copy. Not an error;
+    /// [`crate::AuditReport::is_clean`] ignores it.
+    CommonSubexpression,
+    /// Advisory: a training-invariant subgraph (constant leaves only) is
+    /// recomputed every step — the graph optimizer's constant-folding pass
+    /// would hoist it into the cross-step fold cache. Not an error;
+    /// [`crate::AuditReport::is_clean`] ignores it.
+    FoldableSubgraph,
 }
 
 impl DiagnosticKind {
@@ -43,7 +52,15 @@ impl DiagnosticKind {
             Self::UnusedParam => "unused_param",
             Self::DeadSubgraph => "dead_subgraph",
             Self::UnstableDomain => "unstable_domain",
+            Self::CommonSubexpression => "common_subexpression",
+            Self::FoldableSubgraph => "foldable_subgraph",
         }
+    }
+
+    /// True for findings that flag a missed optimization rather than a bug.
+    /// Advisory findings never make a graph "unclean".
+    pub fn is_advisory(self) -> bool {
+        matches!(self, Self::CommonSubexpression | Self::FoldableSubgraph)
     }
 }
 
@@ -95,6 +112,14 @@ pub(crate) struct TraceNode {
     pub shape: (usize, usize),
     pub inputs: Vec<usize>,
     pub param: Option<ParamId>,
+    /// Opaque op attribute for value-numbering: the bit pattern of a scalar
+    /// coefficient (`scale`/`add_scalar`/`leaky_relu`/eps), packed slice
+    /// bounds, or the address of a shared index/adjacency payload
+    /// (`gather`/`spmm`/segment ops). Two nodes of the same op kind compute
+    /// the same function of their inputs iff their attrs are equal — the
+    /// same discrimination the runtime rewrite verifier applies. `0` for
+    /// attribute-free ops.
+    pub attr: u64,
     /// True when the op's output lies in a fixed interval regardless of
     /// how far parameters drift during training (σ, tanh, softmax, norms,
     /// and compositions of bounded inputs). Leaves: constants are bounded
@@ -168,10 +193,17 @@ impl ShapeTracer {
             shape,
             inputs: inputs.iter().map(|v| v.index()).collect(),
             param,
+            attr: 0,
             bounded,
             lower,
         });
         Var::from_index(self.nodes.len() - 1)
+    }
+
+    /// Stamps the value-numbering attribute on a just-pushed node.
+    fn tag(&mut self, v: Var, attr: u64) -> Var {
+        self.nodes[v.index()].attr = attr;
+        v
     }
 
     fn diag(&mut self, kind: DiagnosticKind, op: &'static str, message: String) {
@@ -320,7 +352,8 @@ impl Recorder for ShapeTracer {
         } else {
             Lower::Unknown
         };
-        self.unary("scale", a, bounded, lower)
+        let v = self.unary("scale", a, bounded, lower);
+        self.tag(v, u64::from(k.to_bits()))
     }
 
     fn add_scalar(&mut self, a: Var, k: f32) -> Var {
@@ -335,7 +368,8 @@ impl Recorder for ShapeTracer {
         } else {
             Lower::Unknown
         };
-        self.unary("add_scalar", a, bounded, lower)
+        let v = self.unary("add_scalar", a, bounded, lower);
+        self.tag(v, u64::from(k.to_bits()))
     }
 
     fn matmul(&mut self, a: Var, b: Var) -> Var {
@@ -383,7 +417,8 @@ impl Recorder for ShapeTracer {
         }
         // The adjacency is a fixed constant, so boundedness follows b.
         let bounded = self.bounded_of(b);
-        self.push("spmm", (adj.rows(), sb.1), &[b], bounded, None)
+        let v = self.push("spmm", (adj.rows(), sb.1), &[b], bounded, None);
+        self.tag(v, Rc::as_ptr(adj) as usize as u64)
     }
 
     fn sigmoid(&mut self, a: Var) -> Var {
@@ -396,12 +431,13 @@ impl Recorder for ShapeTracer {
         self.unary("tanh", a, true, Lower::Unknown)
     }
 
-    fn leaky_relu(&mut self, a: Var, _alpha: f32) -> Var {
+    fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
         let bounded = self.bounded_of(a);
         // Identity on non-negative inputs, so a known bound passes through.
         let lower =
             if self.lower_of(a) >= Lower::NonNeg { self.lower_of(a) } else { Lower::Unknown };
-        self.unary("leaky_relu", a, bounded, lower)
+        let v = self.unary("leaky_relu", a, bounded, lower);
+        self.tag(v, u64::from(alpha.to_bits()))
     }
 
     fn relu(&mut self, a: Var) -> Var {
@@ -598,7 +634,15 @@ impl Recorder for ShapeTracer {
         }
         let bounded = self.bounded_of(a);
         let lower = self.lower_of(a);
-        self.push_with("slice_cols", (sa.0, end.saturating_sub(start)), &[a], bounded, None, lower)
+        let v = self.push_with(
+            "slice_cols",
+            (sa.0, end.saturating_sub(start)),
+            &[a],
+            bounded,
+            None,
+            lower,
+        );
+        self.tag(v, ((start as u64) << 32) | (end as u64 & 0xFFFF_FFFF))
     }
 
     fn gather(&mut self, a: Var, idx: Rc<Vec<usize>>) -> Var {
@@ -612,17 +656,20 @@ impl Recorder for ShapeTracer {
         }
         let bounded = self.bounded_of(a);
         let lower = self.lower_of(a);
-        self.push_with("gather", (idx.len(), sa.1), &[a], bounded, None, lower)
+        let v = self.push_with("gather", (idx.len(), sa.1), &[a], bounded, None, lower);
+        self.tag(v, Rc::as_ptr(&idx) as usize as u64)
     }
 
-    fn layer_norm_rows(&mut self, a: Var, _eps: f32) -> Var {
-        self.unary("layer_norm_rows", a, true, Lower::Unknown)
+    fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
+        let v = self.unary("layer_norm_rows", a, true, Lower::Unknown);
+        self.tag(v, u64::from(eps.to_bits()))
     }
 
-    fn l2_normalize_rows(&mut self, a: Var, _eps: f32) -> Var {
+    fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
         // Rescaling by a positive norm preserves sign (entrywise).
         let lower = self.nonneg_reduce(a);
-        self.unary("l2_normalize_rows", a, true, lower)
+        let v = self.unary("l2_normalize_rows", a, true, lower);
+        self.tag(v, u64::from(eps.to_bits()))
     }
 
     fn row_dots(&mut self, a: Var, b: Var) -> Var {
@@ -649,7 +696,8 @@ impl Recorder for ShapeTracer {
             );
         }
         self.check_segments("segment_softmax", &seg, sl.0);
-        self.push_with("segment_softmax", sl, &[logits], true, None, Lower::NonNeg)
+        let v = self.push_with("segment_softmax", sl, &[logits], true, None, Lower::NonNeg);
+        self.tag(v, Rc::as_ptr(&seg) as usize as u64)
     }
 
     fn segment_weighted_sum(&mut self, w: Var, v: Var, seg: Rc<Vec<usize>>) -> Var {
@@ -672,7 +720,8 @@ impl Recorder for ShapeTracer {
         let n = seg.len().saturating_sub(1);
         let bounded = self.bounded_of(w) && self.bounded_of(v);
         let lower = self.nonneg_if_both(w, v);
-        self.push_with("segment_weighted_sum", (n, sv.1), &[w, v], bounded, None, lower)
+        let out = self.push_with("segment_weighted_sum", (n, sv.1), &[w, v], bounded, None, lower);
+        self.tag(out, Rc::as_ptr(&seg) as usize as u64)
     }
 
     fn dropout_mask(&mut self, a: Var, mask: Matrix) -> Var {

@@ -65,10 +65,12 @@ mod optim;
 mod params;
 mod plan;
 mod recorder;
+mod rewrite;
 mod tape;
 
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamSet};
 pub use plan::{PlanHarness, TapePlan};
 pub use recorder::{Recorder, Var};
-pub use tape::Tape;
+pub use rewrite::{RewriteAction, RewritePlan};
+pub use tape::{FoldCache, RewriteCounters, Tape};

@@ -1,0 +1,149 @@
+//! The executable half of a graph-optimizer rewrite plan.
+//!
+//! `dgnn-analysis` computes rewrites over a `ShapeTracer` graph — constant
+//! folding, common-subexpression elimination, op fusion — and lowers them to
+//! this minimal per-node action table, which is all [`crate::Tape`] needs to
+//! execute the rewritten graph. Keeping the executable type here mirrors
+//! [`crate::plan::TapePlan`] and avoids a dependency cycle (`analysis`
+//! depends on `autograd`, not the other way around).
+//!
+//! Rewrites are *patches*: the node numbering of the original graph is
+//! preserved — every node still exists at its original index with its
+//! original op — and each action only changes **how** that node's forward
+//! value is produced (recomputed, copied from an equal earlier node, read
+//! from the cross-step fold cache, computed in place in a stolen buffer, or
+//! computed by a fused kernel). Gradients and the memory plan therefore
+//! carry over unchanged, and optimized execution is bit-identical to
+//! unoptimized execution by construction.
+//!
+//! Every action is additionally *runtime-verified* by the tape (operand
+//! identity, scalar bit-equality, buffer availability); a mispredicted
+//! action falls back to plain recomputation, so a stale plan can cost speed
+//! but never correctness. Before a trainer executes a plan at all, the
+//! independent `rewrite_checker` in `dgnn-analysis` must prove it sound —
+//! unproven plans panic in the training harness.
+
+/// How one node's forward value is produced under a rewrite plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteAction {
+    /// Evaluate the op normally (the default for every node).
+    Compute,
+    /// CSE: this node is congruent to earlier node `j`; its value is a
+    /// pooled copy of `j`'s value. The node itself — and its backward rule —
+    /// survive untouched, which is what keeps gradient accumulation order
+    /// (and hence bits) identical to the unoptimized run.
+    CopyOf(u32),
+    /// Constant folding: this node belongs to a training-invariant
+    /// subgraph. Its value is served from fold-cache slot `slot` when the
+    /// cached entry is still valid this step, and recomputed (refreshing
+    /// the cache) otherwise.
+    Fold(u32),
+    /// Op fusion, in-place form: steal the first input's buffer (statically
+    /// proven dead after this op) and apply the op's epilogue in place.
+    Steal,
+    /// Op fusion, streaming form: produce the value with a single-pass
+    /// lowered kernel instead of the historical clone-then-update two-pass
+    /// kernel.
+    Stream,
+    /// Op fusion, gather→matmul: this `gather` feeds exactly one fused
+    /// matmul and is never read otherwise, so no value is materialized.
+    ElideGather,
+    /// Op fusion, gather→matmul: this `matmul`'s first input is an elided
+    /// gather; compute the product directly from the gathered rows.
+    GatherMatMul,
+}
+
+/// A per-node rewrite action table for one compute graph.
+///
+/// Indexed by node push order — graph topology is batch-stable, so the
+/// table computed from a probe trace applies to every training step.
+#[derive(Debug, Clone, Default)]
+pub struct RewritePlan {
+    actions: Vec<RewriteAction>,
+    num_fold_slots: u32,
+}
+
+impl RewritePlan {
+    /// Builds a plan from a per-node action table.
+    ///
+    /// # Panics
+    /// Panics on structurally malformed plans: a `CopyOf` source at or
+    /// after its copier (the graph must stay acyclic), or a fold slot
+    /// outside `num_fold_slots`. Semantic soundness (shape-correctness,
+    /// gradient-completeness, steal legality) is the rewrite checker's job.
+    pub fn new(actions: Vec<RewriteAction>, num_fold_slots: u32) -> Self {
+        for (i, a) in actions.iter().enumerate() {
+            match *a {
+                RewriteAction::CopyOf(j) => {
+                    assert!(
+                        (j as usize) < i,
+                        "RewritePlan: node {i} copies from {j}, which is not an earlier node"
+                    );
+                }
+                RewriteAction::Fold(s) => {
+                    assert!(
+                        s < num_fold_slots,
+                        "RewritePlan: node {i} uses fold slot {s} of {num_fold_slots}"
+                    );
+                }
+                _ => {}
+            }
+        }
+        Self { actions, num_fold_slots }
+    }
+
+    /// The action for node `i` (`Compute` past the end of the table, so a
+    /// plan traced on a probe batch tolerates no-op tail differences).
+    pub fn action(&self, i: usize) -> RewriteAction {
+        self.actions.get(i).copied().unwrap_or(RewriteAction::Compute)
+    }
+
+    /// The full action table.
+    pub fn actions(&self) -> &[RewriteAction] {
+        &self.actions
+    }
+
+    /// Number of fold-cache slots the plan requires.
+    pub fn num_fold_slots(&self) -> u32 {
+        self.num_fold_slots
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when the plan covers an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// True when every action is `Compute` (the plan changes nothing).
+    pub fn is_identity(&self) -> bool {
+        self.actions.iter().all(|a| matches!(a, RewriteAction::Compute))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "not an earlier node")]
+    fn forward_copy_rejected() {
+        let _ = RewritePlan::new(vec![RewriteAction::CopyOf(0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fold slot")]
+    fn out_of_range_slot_rejected() {
+        let _ = RewritePlan::new(vec![RewriteAction::Fold(2)], 2);
+    }
+
+    #[test]
+    fn action_defaults_to_compute_past_the_end() {
+        let p = RewritePlan::new(vec![RewriteAction::Compute], 0);
+        assert_eq!(p.action(5), RewriteAction::Compute);
+        assert!(p.is_identity());
+    }
+}

@@ -17,17 +17,23 @@
 //! profile                     profile + write the artifacts above
 //! profile --check PATH        no artifacts; exit 1 if DGNN steps/sec
 //!                             regressed >25% vs. the baseline snapshot,
-//!                             or if the parallel kernel pool is slower
-//!                             than serial beyond the noise budget
+//!                             if the parallel kernel pool is slower than
+//!                             serial beyond the noise budget, or if
+//!                             graph-optimized training fails its 1.5x
+//!                             speedup floor over the stored baseline
 //! ```
 //!
-//! Besides the observed run, DGNN is trained twice unobserved with the
-//! kernel pool pinned to one thread and to the ambient width
+//! Besides the observed run, DGNN is trained unobserved with the kernel
+//! pool pinned to one thread and to the ambient width
 //! (`DGNN_THREADS` / hardware), recorded as the
 //! `profile/steps_per_sec_serial` and `profile/steps_per_sec_parallel`
-//! gauges. Both runs share one warm process, so their ratio is
-//! load-robust in a way the absolute numbers are not; `--check` gates on
-//! that same-run ratio, never on a cross-machine comparison.
+//! gauges, and once more with the graph optimizer enabled
+//! (`profile/steps_per_sec_optimized`). All reference runs share one warm
+//! process, so their ratios are load-robust in a way the absolute numbers
+//! are not. A second observed entry, `DGNN_opt`, trains under the proven
+//! rewrite plan; the optimizer publishes its
+//! `optimizer/{nodes_before,nodes_after,folded,cse_hits,fused}` gauges
+//! into that snapshot as the harness is built.
 //!
 //! The `--check` budgets are deliberately loose: steps/sec is machine- and
 //! load-dependent, so the gates only catch large regressions (an op gone
@@ -55,6 +61,14 @@ const REGRESSION_BUDGET: f64 = 0.25;
 /// this only slackens for timer noise; a dispatch overhead regression
 /// (pool slower than its own serial fallback) still trips it.
 const PARALLEL_BUDGET: f64 = 0.15;
+/// Required speedup of graph-optimized DGNN training over the *stored
+/// baseline* steps/sec before `--check` passes. The committed
+/// `BENCH_profile.json` is the pre-optimizer anchor — it is deliberately
+/// not regenerated alongside the optimizer so this gate keeps measuring
+/// optimized execution against the world before the rewrite passes
+/// existed. Regenerating the baseline resets the anchor and this gate with
+/// it; do that only together with a conscious re-tune of the floor.
+const OPT_SPEEDUP_FLOOR: f64 = 1.5;
 
 fn quick_baseline() -> BaselineConfig {
     BaselineConfig {
@@ -199,36 +213,61 @@ fn main() -> ExitCode {
         TrainSampler::new(&data.graph).num_positives().div_ceil(bcfg.batch_size).max(1);
     let steps = (batches * bcfg.epochs) as u64;
 
-    // Reference run with observability off (DGNN only): its steps/sec is
-    // the denominator of the documented observer overhead. The untimed
+    // Reference runs with observability off (DGNN only). The untimed
     // warm-up run first absorbs one-time costs (page faults, allocator
     // growth) that would otherwise be billed to whichever run goes first.
+    // Each reference takes the best of two runs: the quick preset trains in
+    // ~10ms, where a single scheduler hiccup swings steps/sec by double
+    // digits — interruptions only ever slow a run down, so best-of-N is the
+    // noise-robust estimator for the ratio gates below.
     dgnn_obs::disable();
     run_cell(&mut Dgnn::new(dcfg.clone()), &data, SEED);
-    let cell = run_cell(&mut Dgnn::new(dcfg.clone()), &data, SEED);
-    let sps_disabled = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
+    let ref_sps = |cfg: &DgnnConfig| -> f64 {
+        (0..2)
+            .map(|_| {
+                let cell = run_cell(&mut Dgnn::new(cfg.clone()), &data, SEED);
+                steps as f64 / cell.train_time.as_secs_f64().max(1e-9)
+            })
+            .fold(f64::MIN, f64::max)
+    };
+    let sps_disabled = ref_sps(&dcfg);
 
-    // Serial vs pooled reference runs, still unobserved and both inside the
+    // Serial vs pooled reference runs, still unobserved and all inside the
     // same warm process so the ratio compares kernels, not machine state.
     let pool_width = dgnn_tensor::parallel::auto_threads();
-    let cell = run_cell(&mut Dgnn::new(dcfg.clone().with_threads(1)), &data, SEED);
-    let sps_serial = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
-    let cell = run_cell(&mut Dgnn::new(dcfg.clone().with_threads(pool_width)), &data, SEED);
-    let sps_parallel = steps as f64 / cell.train_time.as_secs_f64().max(1e-9);
+    let sps_serial = ref_sps(&dcfg.clone().with_threads(1));
+    let sps_parallel = ref_sps(&dcfg.clone().with_threads(pool_width));
     dgnn_tensor::parallel::set_threads(1);
+
+    // Graph-optimized reference run, same warm unobserved process: its
+    // steps/sec vs the stored (pre-optimizer) baseline is the acceptance
+    // gate for the rewrite passes.
+    let sps_optimized = ref_sps(&dcfg.clone().with_graph_opt());
 
     println!("=== Training profile (tiny dataset, quick configs, planned) ===");
     let mut profiles = Vec::new();
     profiles.push(profile_model(
         "DGNN",
-        &mut Dgnn::new(dcfg),
+        &mut Dgnn::new(dcfg.clone()),
         &data,
         steps,
         Some(sps_disabled),
         &[
             ("profile/steps_per_sec_serial", sps_serial),
             ("profile/steps_per_sec_parallel", sps_parallel),
+            ("profile/steps_per_sec_optimized", sps_optimized),
         ],
+    ));
+    // Observed graph-optimized run: `build_harness` publishes the
+    // optimizer/{nodes_before,nodes_after,folded,cse_hits,fused} gauges
+    // while this model fits, so they land in its exported snapshot.
+    profiles.push(profile_model(
+        "DGNN_opt",
+        &mut Dgnn::new(dcfg.with_graph_opt()),
+        &data,
+        steps,
+        None,
+        &[],
     ));
     profiles.push(profile_model("NGCF", &mut Ngcf::new(bcfg.clone()), &data, steps, None, &[]));
     profiles.push(profile_model("DGCF", &mut Dgcf::new(bcfg), &data, steps, None, &[]));
@@ -245,6 +284,11 @@ fn main() -> ExitCode {
         "DGNN kernels: {sps_serial:.1} steps/s serial vs {sps_parallel:.1} steps/s pooled \
          ({pool_width} thread(s), ratio {:.2})",
         sps_parallel / sps_serial.max(1e-9),
+    );
+    println!(
+        "DGNN optimizer: {sps_optimized:.1} steps/s optimized vs {sps_disabled:.1} steps/s \
+         plain (same-run ratio {:.2})",
+        sps_optimized / sps_disabled.max(1e-9),
     );
 
     if let Some(path) = check_path {
@@ -272,10 +316,35 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        let opt_floor = base * OPT_SPEEDUP_FLOOR;
+        if sps_optimized < opt_floor {
+            eprintln!(
+                "REGRESSION DGNN: graph-optimized training at {sps_optimized:.1} steps/s is \
+                 below {OPT_SPEEDUP_FLOOR:.1}x the stored baseline {base:.1} \
+                 (floor {opt_floor:.1})",
+            );
+            return ExitCode::FAILURE;
+        }
+        // Same-run sanity: the rewrite executor (fold-cache verification,
+        // congruence checks) must never cost more than the regression
+        // budget relative to plain execution on the same machine state.
+        let opt_same_run_floor = sps_disabled * (1.0 - REGRESSION_BUDGET);
+        if sps_optimized < opt_same_run_floor {
+            eprintln!(
+                "REGRESSION DGNN: graph-optimized training at {sps_optimized:.1} steps/s is \
+                 more than {:.0}% below the same-run plain {sps_disabled:.1}",
+                100.0 * REGRESSION_BUDGET,
+            );
+            return ExitCode::FAILURE;
+        }
         println!("steps/sec check passed against {path} ({dgnn_sps:.1} vs baseline {base:.1})");
         println!(
             "parallel/serial check passed ({sps_parallel:.1} vs {sps_serial:.1} steps/s \
              same-run)"
+        );
+        println!(
+            "optimizer check passed ({sps_optimized:.1} steps/s optimized >= \
+             {OPT_SPEEDUP_FLOOR:.1}x baseline {base:.1})"
         );
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,339 @@
+//! Graph-optimizer integration tests: the golden bit-identity guarantee
+//! (optimized execution computes *exactly* the same floats as unoptimized,
+//! at one and at four kernel threads, planned and unplanned), the
+//! independent rewrite proof over every traced model, and a property test
+//! that random well-formed compute graphs always receive checker-proven
+//! rewrite plans whose execution matches plain execution bit for bit on
+//! both the forward and backward sweeps.
+
+use dgnn_analysis::{
+    check_plan_with_rewrites, check_rewrites, optimize, plan_with_rewrites, ShapeTracer,
+};
+use dgnn_autograd::{ParamSet, PlanHarness, Recorder, Tape, Var};
+use dgnn_baselines::{BaselineConfig, Dgcf, DisenHan, Gccf, Mhcn, Ngcf};
+use dgnn_core::{Dgnn, DgnnConfig};
+use dgnn_data::{tiny, TrainSampler};
+use dgnn_eval::Trainable;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 13;
+
+fn quick_baseline() -> BaselineConfig {
+    BaselineConfig { dim: 8, layers: 2, epochs: 3, batch_size: 256, ..Default::default() }
+}
+
+fn quick_dgnn() -> DgnnConfig {
+    DgnnConfig {
+        dim: 8,
+        layers: 2,
+        memory_units: 4,
+        epochs: 3,
+        batch_size: 256,
+        ..Default::default()
+    }
+}
+
+/// Bitwise equality for f32 slices — `==` would paper over `-0.0` and NaN
+/// differences, and the golden guarantee is *bit* identity.
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+/// Scores every test user against a fixed item slate — a dense probe of
+/// the fitted model's observable state.
+fn score_probe(model: &dyn dgnn_eval::Recommender, num_users: usize, num_items: usize) -> Vec<f32> {
+    let items: Vec<usize> = (0..num_items).collect();
+    (0..num_users).flat_map(|u| model.score(u, &items)).collect()
+}
+
+/// Uniform access to each baseline's per-epoch loss history.
+trait LossHistory {
+    fn history(&self) -> &[f32];
+}
+impl LossHistory for Ngcf {
+    fn history(&self) -> &[f32] {
+        self.loss_history()
+    }
+}
+impl LossHistory for Gccf {
+    fn history(&self) -> &[f32] {
+        self.loss_history()
+    }
+}
+impl LossHistory for Dgcf {
+    fn history(&self) -> &[f32] {
+        &self.loss_history
+    }
+}
+impl LossHistory for Mhcn {
+    fn history(&self) -> &[f32] {
+        &self.loss_history
+    }
+}
+impl LossHistory for DisenHan {
+    fn history(&self) -> &[f32] {
+        &self.loss_history
+    }
+}
+
+fn loss_of(m: &impl LossHistory) -> Vec<f32> {
+    m.history().to_vec()
+}
+
+// ---------------------------------------------------------------------------
+// Golden tests: optimized execution is bit-identical to plain execution —
+// serial, pooled, and composed with the static memory plan.
+// ---------------------------------------------------------------------------
+
+macro_rules! golden_opt_baseline {
+    ($test:ident, $ty:ident) => {
+        #[test]
+        fn $test() {
+            let data = tiny(SEED);
+            let (nu, nv) = (data.graph.num_users(), data.graph.num_items());
+
+            let mut plain = $ty::new(quick_baseline());
+            plain.fit(&data, SEED);
+            let ref_loss = loss_of(&plain);
+            let ref_scores = score_probe(&plain, nu, nv);
+
+            for (what, cfg) in [
+                ("optimized, 1 thread", quick_baseline().with_graph_opt().with_threads(1)),
+                ("optimized, 4 threads", quick_baseline().with_graph_opt().with_threads(4)),
+                (
+                    "optimized + planned",
+                    quick_baseline().with_graph_opt().with_memory_plan().with_threads(1),
+                ),
+            ] {
+                let mut on = $ty::new(cfg);
+                on.fit(&data, SEED);
+                assert_bits_eq(&ref_loss, &loss_of(&on), &format!("{what}: loss history"));
+                assert_bits_eq(
+                    &ref_scores,
+                    &score_probe(&on, nu, nv),
+                    &format!("{what}: scores"),
+                );
+            }
+        }
+    };
+}
+
+golden_opt_baseline!(ngcf_optimized_is_bit_identical, Ngcf);
+golden_opt_baseline!(gccf_optimized_is_bit_identical, Gccf);
+golden_opt_baseline!(dgcf_optimized_is_bit_identical, Dgcf);
+golden_opt_baseline!(mhcn_optimized_is_bit_identical, Mhcn);
+golden_opt_baseline!(disenhan_optimized_is_bit_identical, DisenHan);
+
+#[test]
+fn dgnn_optimized_is_bit_identical() {
+    let data = tiny(SEED);
+    let (nu, nv) = (data.graph.num_users(), data.graph.num_items());
+
+    let mut plain = Dgnn::new(quick_dgnn());
+    plain.fit(&data, SEED);
+
+    for (what, cfg) in [
+        ("optimized, 1 thread", quick_dgnn().with_graph_opt().with_threads(1)),
+        ("optimized, 4 threads", quick_dgnn().with_graph_opt().with_threads(4)),
+        (
+            "optimized + planned",
+            quick_dgnn().with_graph_opt().with_memory_plan().with_threads(1),
+        ),
+    ] {
+        let mut on = Dgnn::new(cfg);
+        on.fit(&data, SEED);
+        assert_bits_eq(
+            &plain.loss_history,
+            &on.loss_history,
+            &format!("DGNN {what}: loss history"),
+        );
+        assert_bits_eq(
+            plain.user_embeddings().as_slice(),
+            on.user_embeddings().as_slice(),
+            &format!("DGNN {what}: user embeddings"),
+        );
+        assert_bits_eq(
+            plain.item_embeddings().as_slice(),
+            on.item_embeddings().as_slice(),
+            &format!("DGNN {what}: item embeddings"),
+        );
+        assert_bits_eq(
+            &score_probe(&plain, nu, nv),
+            &score_probe(&on, nu, nv),
+            &format!("DGNN {what}: scores"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Independent rewrite proof over every traced model, composed with the
+// rewrite-aware memory plan.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rewrite_checker_proves_every_traced_model() {
+    let data = tiny(SEED);
+    let bcfg = quick_baseline();
+    let probe = TrainSampler::new(&data.graph)
+        .batch(&mut StdRng::seed_from_u64(SEED ^ 0x9E37_79B9), bcfg.batch_size);
+
+    let mut traces: Vec<(&str, ShapeTracer, Var)> = Vec::new();
+
+    let mut m = Dgnn::new(quick_dgnn());
+    m.prepare(&data.graph, SEED);
+    let mut tr = ShapeTracer::new();
+    let loss = m.record_step(&mut tr, &probe);
+    traces.push(("DGNN", tr, loss));
+
+    macro_rules! trace_of {
+        ($name:literal, $ty:ident) => {{
+            let mut tr = ShapeTracer::new();
+            let (_, loss) = $ty::trace_step(&bcfg, &data, &probe, SEED, &mut tr);
+            traces.push(($name, tr, loss));
+        }};
+    }
+    trace_of!("NGCF", Ngcf);
+    trace_of!("GCCF", Gccf);
+    trace_of!("DGCF", Dgcf);
+    trace_of!("MHCN", Mhcn);
+    trace_of!("DisenHAN", DisenHan);
+
+    for (name, tracer, loss) in &traces {
+        let (rewrites, stats) = optimize(tracer, *loss, &[]);
+        let proof = check_rewrites(tracer, *loss, &[], &rewrites)
+            .unwrap_or_else(|v| panic!("{name}: rewrite plan failed its proof: {v}"));
+        assert!(proof.nodes > 0, "{name}: empty rewrite proof");
+        assert!(
+            stats.cse_hits + stats.folded + stats.fused > 0,
+            "{name}: the optimizer rewrote nothing — optimization is vacuous \
+             ({stats:?})"
+        );
+        assert!(
+            stats.nodes_after <= stats.nodes_before,
+            "{name}: optimization grew the graph ({stats:?})"
+        );
+
+        // The rewrite-aware memory plan over the same trace must also prove.
+        let mplan = plan_with_rewrites(tracer, *loss, &[], &rewrites);
+        check_plan_with_rewrites(tracer, *loss, &[], &rewrites, &mplan).unwrap_or_else(|v| {
+            panic!("{name}: rewrite-aware memory plan failed its proof: {v}")
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: random well-formed graphs always get checker-proven rewrite
+// plans, and rewritten execution is bit-identical forward and backward.
+// ---------------------------------------------------------------------------
+
+/// Builds a random shape-valid compute graph: a chain over `n × d`
+/// activations seeded by a param `x` and a constant `c`, with random unary
+/// ops, random binary merges with earlier nodes, square projections
+/// through `w`, and two op kinds that deliberately bait the optimizer —
+/// restarting from the constant (growing foldable regions) and re-deriving
+/// an earlier node (planting CSE duplicates). Closed by a scalar readout.
+fn random_graph<R: Recorder>(tr: &mut R, x: Var, w: Var, c: Var, ops: &[(u8, usize)]) -> Var {
+    let mut vars = vec![x, c];
+    for &(op, pick) in ops {
+        let prev = *vars.last().expect("non-empty");
+        let other = vars[pick % vars.len()];
+        let next = match op {
+            0 => tr.sigmoid(prev),
+            1 => tr.tanh(prev),
+            2 => tr.leaky_relu(prev, 0.2),
+            3 => tr.softplus(prev),
+            4 => tr.scale(prev, 0.7),
+            5 => tr.add(prev, other),
+            6 => tr.mul(prev, other),
+            7 => tr.matmul(prev, w),
+            8 => {
+                let ln = tr.layer_norm_rows(prev, 1e-5);
+                tr.add(ln, other)
+            }
+            9 => tr.scale(c, 0.3),
+            _ => tr.scale(other, 0.7),
+        };
+        vars.push(next);
+    }
+    let last = *vars.last().expect("non-empty");
+    tr.mean_all(last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_graphs_get_proven_rewrites_with_identical_values(
+        ops in collection::vec((0u8..11, any::<usize>()), 1..32),
+        use_plan in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut params = ParamSet::new();
+        let xid = params.add("x", dgnn_tensor::Init::Uniform(0.5).build(6, 4, &mut rng));
+        let wid = params.add("w", dgnn_tensor::Init::Uniform(0.5).build(4, 4, &mut rng));
+        let cmat = dgnn_tensor::Init::Uniform(0.5).build(6, 4, &mut rng);
+
+        let mut tr = ShapeTracer::new();
+        let x = tr.param(&params, xid);
+        let w = tr.param(&params, wid);
+        let c = tr.constant(cmat.clone());
+        let loss = random_graph(&mut tr, x, w, c, &ops);
+
+        let (rewrites, stats) = optimize(&tr, loss, &[]);
+        let proof = check_rewrites(&tr, loss, &[], &rewrites);
+        prop_assert!(proof.is_ok(), "checker rejected the rewrite plan: {:?}", proof.err());
+        prop_assert!(stats.nodes_after <= stats.nodes_before, "optimization grew the graph");
+
+        // Reference values from a plain tape.
+        let mut tape = Tape::new();
+        let x = tape.param(&params, xid);
+        let w = tape.param(&params, wid);
+        let c = tape.constant(cmat.clone());
+        let loss_v = random_graph(&mut tape, x, w, c, &ops);
+        params.zero_grads();
+        let ref_loss = tape.backward_into(loss_v, &mut params);
+        let ref_gx: Vec<u32> = params.grad(xid).as_slice().iter().map(|f| f.to_bits()).collect();
+        let ref_gw: Vec<u32> = params.grad(wid).as_slice().iter().map(|f| f.to_bits()).collect();
+
+        // Rewritten (optionally also planned) execution. Two steps, so the
+        // fold cache exercises both its fill and its verified-hit paths.
+        let tape_plan = if use_plan {
+            let mplan = plan_with_rewrites(&tr, loss, &[], &rewrites);
+            let pf = check_plan_with_rewrites(&tr, loss, &[], &rewrites, &mplan);
+            prop_assert!(pf.is_ok(), "checker rejected the memory plan: {:?}", pf.err());
+            Some(mplan.tape_plan())
+        } else {
+            None
+        };
+        let mut harness = PlanHarness::with_rewrites(tape_plan, rewrites);
+        for step in 0..2 {
+            let mut tape = harness.begin_step();
+            let x = tape.param(&params, xid);
+            let w = tape.param(&params, wid);
+            let c = tape.constant(cmat.clone());
+            let loss_v = random_graph(&mut tape, x, w, c, &ops);
+            params.zero_grads();
+            let opt_loss = tape.backward_into(loss_v, &mut params);
+            prop_assert!(
+                ref_loss.to_bits() == opt_loss.to_bits(),
+                "step {step}: loss bits diverged: {ref_loss:?} vs {opt_loss:?}"
+            );
+            let gx: Vec<u32> =
+                params.grad(xid).as_slice().iter().map(|f| f.to_bits()).collect();
+            let gw: Vec<u32> =
+                params.grad(wid).as_slice().iter().map(|f| f.to_bits()).collect();
+            prop_assert!(ref_gx == gx, "step {step}: grad(x) bits diverged");
+            prop_assert!(ref_gw == gw, "step {step}: grad(w) bits diverged");
+            harness.end_step(tape);
+        }
+    }
+}

@@ -45,20 +45,31 @@ fn disabled_observability_hot_path_never_allocates() {
         dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 1);
     }
 
-    let before = ALLOCS.load(Ordering::Relaxed);
-    for _ in 0..10_000 {
-        let _batch = dgnn_obs::span("batch");
-        let _fwd = dgnn_obs::span("forward");
-        dgnn_obs::counter_add("grad_nonfinite", 1);
-        dgnn_obs::gauge_set("lr", 0.01);
-        dgnn_obs::hist_record("grad_norm/preclip", 2.5);
-        dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 120);
-        dgnn_obs::record_op("spmm", dgnn_obs::OpPhase::Backward, 80);
+    // The counter is process-wide, so a stray allocation on the libtest
+    // harness thread during the window would be charged to us. Take the
+    // minimum over a few attempts: if ANY window of 10k calls observes
+    // zero allocations, the hot path itself is allocation-free, and any
+    // nonzero reading was cross-thread noise.
+    let mut min_allocs = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..10_000 {
+            let _batch = dgnn_obs::span("batch");
+            let _fwd = dgnn_obs::span("forward");
+            dgnn_obs::counter_add("grad_nonfinite", 1);
+            dgnn_obs::gauge_set("lr", 0.01);
+            dgnn_obs::hist_record("grad_norm/preclip", 2.5);
+            dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 120);
+            dgnn_obs::record_op("spmm", dgnn_obs::OpPhase::Backward, 80);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        min_allocs = min_allocs.min(after - before);
+        if min_allocs == 0 {
+            break;
+        }
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(
-        after - before,
-        0,
+        min_allocs, 0,
         "disabled-mode recording must be allocation-free"
     );
 
