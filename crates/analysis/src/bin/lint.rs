@@ -31,6 +31,18 @@
 //!    them needs a nearby `// REWRITE:` comment — ad-hoc tape rewrites
 //!    bypass the soundness proof that keeps optimized execution
 //!    bit-identical.
+//! 11. unsafe-contract: every `unsafe` block / `unsafe impl` — *including*
+//!    those inside `#[cfg(test)]` regions, which rule 4 exempts — needs an
+//!    adjacent `// SAFETY:` comment whose justification text is at least
+//!    20 characters (marker-only or token justifications don't count; the
+//!    comment must actually argue the invariant).
+//! 12. partition-contract: any `par_row_chunks(` / `run_parts(` call site
+//!    outside the kernel modules that own them
+//!    (`tensor/src/{parallel,dense,sparse,topk}.rs`) needs a nearby
+//!    `// CONTRACT: <kernel>` tag naming a contract registered in
+//!    `dgnn_analysis::race_checker` — a parallel dispatch with no
+//!    registered partition contract cannot be proven race-free by the
+//!    sanitizer.
 //!
 //! `target/` and `third_party/` directories are never scanned.
 //!
@@ -48,6 +60,11 @@ const TODO_BUDGET: usize = 8;
 /// How many preceding lines may carry a `// SAFETY:` / `// PANICS:` /
 /// `// INVARIANT:` marker for it to justify a flagged construct.
 const MARKER_WINDOW: usize = 4;
+
+/// Minimum characters of justification text a `// SAFETY:` comment must
+/// carry (rule 11): the comment must argue the invariant, not just name
+/// the marker.
+const MIN_SAFETY_JUSTIFICATION: usize = 20;
 
 struct Violation {
     file: PathBuf,
@@ -71,6 +88,8 @@ struct Needles {
     thread_builder: String,
     rewrite_plan: String,
     rewrite_action: String,
+    par_chunks: String,
+    run_parts: String,
 }
 
 impl Needles {
@@ -88,6 +107,8 @@ impl Needles {
             thread_builder: format!("thread::Buil{}", "der"),
             rewrite_plan: format!("RewritePlan::n{}(", "ew"),
             rewrite_action: format!("RewriteAction{}", "::"),
+            par_chunks: format!("par_row_chu{}(", "nks"),
+            run_parts: format!("run_pa{}(", "rts"),
         }
     }
 }
@@ -271,6 +292,37 @@ fn has_marker(lines: &[&str], idx: usize, marker: &str) -> bool {
     lines[start..=idx].iter().any(|l| l.contains(marker))
 }
 
+/// Justification length (in chars) of the nearest `// SAFETY:` marker in
+/// the window before `idx`: the text after the marker on its own line plus
+/// any immediately following comment-only continuation lines. `None` when
+/// no marker is in the window at all (rule 4's case).
+fn safety_justification_len(lines: &[&str], idx: usize) -> Option<usize> {
+    let start = idx.saturating_sub(MARKER_WINDOW);
+    let marker_at = (start..=idx).rev().find(|&j| lines[j].contains("SAFETY:"))?;
+    let tail = match lines[marker_at].find("SAFETY:") {
+        Some(p) => &lines[marker_at][p + "SAFETY:".len()..],
+        None => "",
+    };
+    let mut len = tail.trim().chars().count();
+    for l in lines.iter().take(idx).skip(marker_at + 1) {
+        match l.trim_start().strip_prefix("//") {
+            Some(rest) => len += rest.trim().chars().count(),
+            None => break,
+        }
+    }
+    Some(len)
+}
+
+/// The kernel named by the nearest `// CONTRACT: <kernel>` tag in the
+/// window before `idx`, or `None` when no tag is present.
+fn contract_marker_name(lines: &[&str], idx: usize) -> Option<String> {
+    let start = idx.saturating_sub(MARKER_WINDOW);
+    let marker_at = (start..=idx).rev().find(|&j| lines[j].contains("CONTRACT:"))?;
+    let p = lines[marker_at].find("CONTRACT:")?;
+    let tail = &lines[marker_at][p + "CONTRACT:".len()..];
+    tail.split_whitespace().next().map(str::to_string)
+}
+
 /// `.expect("...")` with a message of at least 10 characters counts as
 /// self-justifying. `start` points at the needle's opening parenthesis.
 fn expect_message_len(code: &str, paren: usize) -> usize {
@@ -325,6 +377,18 @@ fn lint_file(
     ]
     .iter()
     .any(|tail| file.ends_with(Path::new(tail)));
+    // Rule 12 exempts the kernel modules that own pool dispatch: their
+    // partition contracts are declared in dgnn_analysis::race_checker and
+    // proved at runtime by the shadow-access sanitizer. Everywhere else a
+    // dispatch must name the contract it runs under.
+    let contract_scope = ![
+        "tensor/src/parallel.rs",
+        "tensor/src/dense.rs",
+        "tensor/src/sparse.rs",
+        "tensor/src/topk.rs",
+    ]
+    .iter()
+    .any(|tail| file.ends_with(Path::new(tail)));
     // Rule 9 applies to the serving tier, which must fail soft: request
     // handling answers bad input with 4xx/5xx JSON, never a panic.
     let serve_scope = {
@@ -362,6 +426,40 @@ fn lint_file(
 
         if raw.contains(&needles.todo) || raw.contains(&needles.fixme) {
             *todo_count += 1;
+        }
+        // Rule 11 runs before the test-region skip: unlike rule 4 it
+        // exempts no region, and it additionally demands that the SAFETY
+        // comment argue the invariant rather than merely exist. It fires
+        // only for the cases rule 4 misses (marker absent inside test
+        // code, or marker present but too thin), so the two never
+        // double-report one site.
+        if contains_unsafe_keyword(&code) {
+            match safety_justification_len(&lines, i) {
+                Some(len) if len < MIN_SAFETY_JUSTIFICATION => {
+                    violations.push(Violation {
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        rule: "unsafe-contract",
+                        detail: format!(
+                            "SAFETY comment carries only {len} chars of \
+                             justification (minimum {MIN_SAFETY_JUSTIFICATION}); \
+                             it must argue the invariant, not just name the marker"
+                        ),
+                    });
+                }
+                None if in_test => {
+                    violations.push(Violation {
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        rule: "unsafe-contract",
+                        detail: "unsafe in test code without a nearby // SAFETY: \
+                                 comment; test unsafety needs the same argued \
+                                 invariant as library unsafety"
+                            .to_string(),
+                    });
+                }
+                _ => {}
+            }
         }
         if in_test {
             continue;
@@ -486,6 +584,35 @@ fn lint_file(
                 rule: "undocumented-unsafe",
                 detail: "unsafe without a nearby // SAFETY: comment".to_string(),
             });
+        }
+        if contract_scope
+            && (code.contains(needles.par_chunks.as_str())
+                || code.contains(needles.run_parts.as_str()))
+        {
+            match contract_marker_name(&lines, i) {
+                Some(name)
+                    if dgnn_analysis::race_checker::contract_names()
+                        .contains(&name.as_str()) => {}
+                Some(name) => violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "partition-contract",
+                    detail: format!(
+                        "// CONTRACT: tag names `{name}`, which is not \
+                         registered in dgnn_analysis::race_checker; the \
+                         sanitizer cannot prove an unregistered dispatch"
+                    ),
+                }),
+                None => violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "partition-contract",
+                    detail: "pool dispatch outside the kernel modules without a \
+                             nearby // CONTRACT: <kernel> tag naming its \
+                             registered partition contract"
+                        .to_string(),
+                }),
+            }
         }
     }
 }
@@ -635,6 +762,85 @@ mod tests {
             format!("// REWRITE: identity plan for a pool-only harness, nothing to prove\n{text}");
         lint_file(Path::new("crates/bench/src/lib.rs"), &justified, &needles, &mut violations, &mut todos);
         assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn unsafe_contract_demands_substantive_justification() {
+        let needles = Needles::new();
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        let path = Path::new("crates/tensor/src/buf.rs");
+
+        // Marker present (rule 4 passes) but the justification is thin.
+        let thin = "// SAFETY: fine\nlet v = unsafe { p.read() };\n";
+        lint_file(path, thin, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1, "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert_eq!(violations[0].rule, "unsafe-contract");
+
+        // A multi-line argued invariant satisfies both rules 4 and 11.
+        // (Kept as single-line literals: the lexer is line-based, so a
+        // backslash-continued literal would read as code when this file
+        // scans itself.)
+        violations.clear();
+        let ok = "// SAFETY: the pointer derives from a live Vec whose length\n// bounds every index this block reads.\nlet v = unsafe { p.read() };\n";
+        lint_file(path, ok, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // Test regions are exempt from rule 4 but not from rule 11. The
+        // attribute is assembled at runtime so this file's own test-region
+        // tracking does not trip over the literal.
+        violations.clear();
+        let attr = format!("#[cfg(te{})]", "st");
+        let in_test =
+            format!("{attr}\nmod tests {{\n    fn f() {{ let v = unsafe {{ p.read() }}; }}\n}}\n");
+        lint_file(path, &in_test, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1, "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert_eq!(violations[0].rule, "unsafe-contract");
+
+        // ... and a substantive comment clears test-region unsafety too.
+        violations.clear();
+        let in_test_ok = format!(
+            "{attr}\nmod tests {{\n    // SAFETY: test-local buffer outlives the read and is in-bounds.\n    fn f() {{ let v = unsafe {{ p.read() }}; }}\n}}\n"
+        );
+        lint_file(path, &in_test_ok, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_contract_demands_registered_kernel_tags() {
+        let needles = Needles::new();
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        let text = format!("dgnn_tensor::parallel::{}4, |p| body(p));\n", needles.run_parts);
+
+        // Outside the kernel modules an untagged dispatch fires.
+        lint_file(Path::new("crates/core/src/model.rs"), &text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1, "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert_eq!(violations[0].rule, "partition-contract");
+
+        // A tag naming an unregistered kernel still fires.
+        violations.clear();
+        let bogus = format!("// CONTRACT: not_a_kernel\n{text}");
+        lint_file(Path::new("crates/core/src/model.rs"), &bogus, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "partition-contract");
+        assert!(violations[0].detail.contains("not_a_kernel"));
+
+        // A registered kernel name justifies the dispatch; par_row_chunks
+        // sites are covered by the same rule.
+        violations.clear();
+        let tagged = format!("// CONTRACT: spmm\n{text}");
+        lint_file(Path::new("crates/core/src/model.rs"), &tagged, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        violations.clear();
+        let chunks = format!("// CONTRACT: matmul\ncrate::parallel::{}args);\n", needles.par_chunks);
+        lint_file(Path::new("crates/core/src/model.rs"), &chunks, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // The kernel modules that own pool dispatch are exempt.
+        violations.clear();
+        lint_file(Path::new("crates/tensor/src/dense.rs"), &text, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
     }
 
     #[test]

@@ -83,6 +83,7 @@ mod checker;
 pub mod json;
 mod optimizer;
 mod planner;
+pub mod race_checker;
 mod rewrite_checker;
 mod tracer;
 

@@ -27,7 +27,9 @@
 //! allocator). Training code can therefore stay instrumented permanently;
 //! only sessions that opt in pay for observability, and they pay little:
 //! the `profile` binary measures the enabled-mode overhead at ≤5% of
-//! steps/sec (asserted in `tests/tests/observability.rs`).
+//! steps/sec on quiet hardware. `tests/tests/observability.rs` asserts a
+//! 2× guard band (10%) in thread CPU time, the tightest bound a busy
+//! shared CI box can resolve without flaking.
 //!
 //! # Why not `tracing`/`metrics` crates
 //!
@@ -44,7 +46,7 @@ mod metrics;
 mod ops;
 mod span;
 
-pub use clock::now_ns;
+pub use clock::{now_ns, thread_cpu_ns};
 pub use metrics::{counter_add, gauge_set, hist_record, HistStat, Snapshot};
 pub use ops::{record_op, OpPhase, OpStat};
 pub use span::{span, span_owned, timed, SpanEvent, SpanGuard, SpanPhase};

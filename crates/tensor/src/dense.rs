@@ -3,6 +3,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut, Range};
 
+use crate::sanitize::{Access, OUT};
 use crate::{parallel, pool};
 
 /// A row-major dense matrix of `f32`.
@@ -188,7 +189,10 @@ impl Matrix {
         let (k, n) = (self.cols, rhs.cols);
         let a = &self.data;
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut out.data, self.rows, n, k.saturating_mul(n), |rows, chunk| {
+        let reads = |r: &Range<usize>| {
+            vec![Access::read(0, r.start * k..r.end * k), Access::read(1, 0..b.len())]
+        };
+        parallel::par_row_chunks("matmul", &mut out.data, self.rows, n, k.saturating_mul(n), reads, |rows, chunk| {
             matmul_rows(a, b, k, n, &rows, chunk);
         });
         out
@@ -210,7 +214,16 @@ impl Matrix {
         let (m, c, n) = (self.rows, self.cols, rhs.cols);
         let a = &self.data;
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut out.data, c, n, m.saturating_mul(n), |rows, chunk| {
+        // Each partition reads a *column* band of `self`: elements
+        // `k*c + i` for its output rows `i` — a strided span, not a
+        // contiguous one (declaring the whole of `a` would be over-broad).
+        let reads = |r: &Range<usize>| {
+            vec![
+                Access::read_strided(0, r.start, r.len(), c, if r.is_empty() { 0 } else { m }),
+                Access::read(1, 0..b.len()),
+            ]
+        };
+        parallel::par_row_chunks("matmul_tn", &mut out.data, c, n, m.saturating_mul(n), reads, |rows, chunk| {
             matmul_tn_rows(a, b, m, c, n, &rows, chunk);
         });
         out
@@ -229,7 +242,10 @@ impl Matrix {
         let (k, jn) = (self.cols, rhs.rows);
         let a = &self.data;
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut out.data, self.rows, jn, k.saturating_mul(jn), |rows, chunk| {
+        let reads = |r: &Range<usize>| {
+            vec![Access::read(0, r.start * k..r.end * k), Access::read(1, 0..b.len())]
+        };
+        parallel::par_row_chunks("matmul_nt", &mut out.data, self.rows, jn, k.saturating_mul(jn), reads, |rows, chunk| {
             matmul_nt_rows(a, b, k, jn, &rows, chunk);
         });
         out
@@ -271,7 +287,7 @@ impl Matrix {
     fn zip_with(
         &self,
         rhs: &Matrix,
-        what: &str,
+        what: &'static str,
         work_per_elem: usize,
         f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Matrix {
@@ -284,7 +300,9 @@ impl Matrix {
         );
         let mut data = pool::alloc_overwritten(self.data.len());
         let (a, b) = (&self.data, &rhs.data);
-        parallel::par_row_chunks(&mut data, a.len(), 1, work_per_elem, |range, chunk| {
+        let reads =
+            |r: &Range<usize>| vec![Access::read(0, r.clone()), Access::read(1, r.clone())];
+        parallel::par_row_chunks(what, &mut data, a.len(), 1, work_per_elem, reads, |range, chunk| {
             for ((o, &x), &y) in chunk.iter_mut().zip(&a[range.clone()]).zip(&b[range]) {
                 *o = f(x, y);
             }
@@ -296,7 +314,8 @@ impl Matrix {
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut self.data, b.len(), 1, 2, |range, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.clone()), Access::read(0, r.clone())];
+        parallel::par_row_chunks("add_assign", &mut self.data, b.len(), 1, 2, reads, |range, chunk| {
             for (a, &v) in chunk.iter_mut().zip(&b[range]) {
                 *a += v;
             }
@@ -307,7 +326,8 @@ impl Matrix {
     pub fn axpy(&mut self, k: f32, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "axpy: shape mismatch");
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut self.data, b.len(), 1, 2, |range, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.clone()), Access::read(0, r.clone())];
+        parallel::par_row_chunks("axpy", &mut self.data, b.len(), 1, 2, reads, |range, chunk| {
             for (a, &v) in chunk.iter_mut().zip(&b[range]) {
                 *a += k * v;
             }
@@ -322,7 +342,8 @@ impl Matrix {
     /// In-place scaling `self *= k`.
     pub fn scale_assign(&mut self, k: f32) {
         let len = self.data.len();
-        parallel::par_row_chunks(&mut self.data, len, 1, 2, |_, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.clone())];
+        parallel::par_row_chunks("scale_assign", &mut self.data, len, 1, 2, reads, |_, chunk| {
             for v in chunk {
                 *v *= k;
             }
@@ -342,7 +363,8 @@ impl Matrix {
     pub fn map_weighted(&self, work_per_elem: usize, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         let mut data = pool::alloc_overwritten(self.data.len());
         let src = &self.data;
-        parallel::par_row_chunks(&mut data, src.len(), 1, work_per_elem, |range, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(0, r.clone())];
+        parallel::par_row_chunks("map", &mut data, src.len(), 1, work_per_elem, reads, |range, chunk| {
             for (o, &v) in chunk.iter_mut().zip(&src[range]) {
                 *o = f(v);
             }
@@ -406,7 +428,10 @@ impl Matrix {
         assert_eq!(row.cols, self.cols, "add_row_fused: width mismatch");
         let mut data = pool::alloc_overwritten(self.data.len());
         let (a, b, w) = (&self.data, &row.data, self.cols);
-        parallel::par_row_chunks(&mut data, self.rows, self.cols, self.cols, |range, chunk| {
+        let reads = |r: &Range<usize>| {
+            vec![Access::read(0, r.start * w..r.end * w), Access::read(1, 0..b.len())]
+        };
+        parallel::par_row_chunks("add_row_fused", &mut data, self.rows, self.cols, self.cols, reads, |range, chunk| {
             for (out_row, a_row) in chunk
                 .chunks_exact_mut(w.max(1))
                 .zip(a[range.start * w..range.end * w].chunks_exact(w.max(1)))
@@ -426,7 +451,10 @@ impl Matrix {
         assert_eq!(row.cols, self.cols, "mul_row_fused: width mismatch");
         let mut data = pool::alloc_overwritten(self.data.len());
         let (a, b, w) = (&self.data, &row.data, self.cols);
-        parallel::par_row_chunks(&mut data, self.rows, self.cols, self.cols, |range, chunk| {
+        let reads = |r: &Range<usize>| {
+            vec![Access::read(0, r.start * w..r.end * w), Access::read(1, 0..b.len())]
+        };
+        parallel::par_row_chunks("mul_row_fused", &mut data, self.rows, self.cols, self.cols, reads, |range, chunk| {
             for (out_row, a_row) in chunk
                 .chunks_exact_mut(w.max(1))
                 .zip(a[range.start * w..range.end * w].chunks_exact(w.max(1)))
@@ -447,7 +475,10 @@ impl Matrix {
         assert_eq!(col.rows, self.rows, "mul_col_fused: height mismatch");
         let mut data = pool::alloc_overwritten(self.data.len());
         let (a, b, w) = (&self.data, &col.data, self.cols);
-        parallel::par_row_chunks(&mut data, self.rows, self.cols, self.cols, |range, chunk| {
+        let reads = |r: &Range<usize>| {
+            vec![Access::read(0, r.start * w..r.end * w), Access::read(1, r.clone())]
+        };
+        parallel::par_row_chunks("mul_col_fused", &mut data, self.rows, self.cols, self.cols, reads, |range, chunk| {
             for ((out_row, a_row), &k) in chunk
                 .chunks_exact_mut(w.max(1))
                 .zip(a[range.start * w..range.end * w].chunks_exact(w.max(1)))
@@ -480,7 +511,8 @@ impl Matrix {
     pub fn sub_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "sub_assign: shape mismatch");
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut self.data, b.len(), 1, 2, |range, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.clone()), Access::read(0, r.clone())];
+        parallel::par_row_chunks("sub_assign", &mut self.data, b.len(), 1, 2, reads, |range, chunk| {
             for (a, &v) in chunk.iter_mut().zip(&b[range]) {
                 *a -= v;
             }
@@ -490,7 +522,8 @@ impl Matrix {
     /// In-place `self += k`; bit-identical to the `map(|x| x + k)` form.
     pub fn add_scalar_assign(&mut self, k: f32) {
         let len = self.data.len();
-        parallel::par_row_chunks(&mut self.data, len, 1, 2, |_, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.clone())];
+        parallel::par_row_chunks("add_scalar_assign", &mut self.data, len, 1, 2, reads, |_, chunk| {
             for v in chunk {
                 *v += k;
             }
@@ -518,7 +551,14 @@ impl Matrix {
         let (k, jn) = (g.cols, rhs.rows);
         let a = &g.data;
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut self.data, g.rows, jn, k.saturating_mul(jn), |rows, out| {
+        let reads = |r: &Range<usize>| {
+            vec![
+                Access::read(OUT, r.start * jn..r.end * jn),
+                Access::read(0, r.start * k..r.end * k),
+                Access::read(1, 0..b.len()),
+            ]
+        };
+        parallel::par_row_chunks("matmul_nt_acc", &mut self.data, g.rows, jn, k.saturating_mul(jn), reads, |rows, out| {
             for (off, i) in rows.enumerate() {
                 let a_row = &a[i * k..(i + 1) * k];
                 let out_row = &mut out[off * jn..(off + 1) * jn];
@@ -551,7 +591,16 @@ impl Matrix {
         let (k, n) = (self.cols, rhs.cols);
         let a = &self.data;
         let b = &rhs.data;
-        parallel::par_row_chunks(&mut out.data, idx.len(), n, k.saturating_mul(n), |rows, chunk| {
+        // Gathered rows are data-dependent, so the table read is honestly
+        // whole-buffer; the index list itself is read per-partition.
+        let reads = |r: &Range<usize>| {
+            vec![
+                Access::read(0, 0..a.len()),
+                Access::read(1, 0..b.len()),
+                Access::read(2, r.clone()),
+            ]
+        };
+        parallel::par_row_chunks("gather_matmul", &mut out.data, idx.len(), n, k.saturating_mul(n), reads, |rows, chunk| {
             matmul_gathered_rows(a, b, idx, k, n, &rows, chunk);
         });
         out
@@ -671,7 +720,9 @@ impl Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
         let cols = self.cols;
         let src = &self.data;
-        parallel::par_row_chunks(&mut out.data, idx.len(), cols, cols, |range, chunk| {
+        let reads =
+            |r: &Range<usize>| vec![Access::read(0, 0..src.len()), Access::read(1, r.clone())];
+        parallel::par_row_chunks("gather_rows", &mut out.data, idx.len(), cols, cols, reads, |range, chunk| {
             for (off, i) in range.enumerate() {
                 let r = idx[i];
                 chunk[off * cols..(off + 1) * cols]
@@ -699,7 +750,18 @@ impl Matrix {
         // Per-partition cost is one idx scan plus this partition's share of
         // the row updates; estimate the latter as evenly spread.
         let work = (idx.len().saturating_mul(cols.max(1)) / rows.max(1)).max(1);
-        parallel::par_row_chunks(&mut self.data, rows, cols, work, |range, chunk| {
+        // Every partition scans the whole index list and source (filtering
+        // to its own destination rows), so those reads really are global;
+        // the read-modify-write half of the update stays partition-local.
+        let idx_len = idx.len();
+        let reads = |r: &Range<usize>| {
+            vec![
+                Access::read(OUT, r.start * cols..r.end * cols),
+                Access::read(0, 0..idx_len),
+                Access::read(1, 0..src_data.len()),
+            ]
+        };
+        parallel::par_row_chunks("scatter_add_rows", &mut self.data, rows, cols, work, reads, |range, chunk| {
             for (i, &r) in idx.iter().enumerate() {
                 if range.contains(&r) {
                     let off = (r - range.start) * cols;
@@ -718,7 +780,8 @@ impl Matrix {
     pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
         let mut out = self.clone();
         let cols = self.cols;
-        parallel::par_row_chunks(&mut out.data, self.rows, cols, 4 * cols.max(1), |_, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.start * cols..r.end * cols)];
+        parallel::par_row_chunks("l2_normalize_rows", &mut out.data, self.rows, cols, 4 * cols.max(1), reads, |_, chunk| {
             for row in chunk.chunks_exact_mut(cols.max(1)) {
                 let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
                 if norm > eps {
@@ -736,7 +799,8 @@ impl Matrix {
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
         let cols = self.cols;
-        parallel::par_row_chunks(&mut out.data, self.rows, cols, 16 * cols.max(1), |_, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.start * cols..r.end * cols)];
+        parallel::par_row_chunks("softmax_rows", &mut out.data, self.rows, cols, 16 * cols.max(1), reads, |_, chunk| {
             for row in chunk.chunks_exact_mut(cols.max(1)) {
                 softmax_in_place(row);
             }
@@ -749,7 +813,8 @@ impl Matrix {
     pub fn layer_norm_rows(&self, eps: f32) -> Matrix {
         let mut out = self.clone();
         let cols = self.cols;
-        parallel::par_row_chunks(&mut out.data, self.rows, cols, 8 * cols.max(1), |_, chunk| {
+        let reads = |r: &Range<usize>| vec![Access::read(OUT, r.start * cols..r.end * cols)];
+        parallel::par_row_chunks("layer_norm_rows", &mut out.data, self.rows, cols, 8 * cols.max(1), reads, |_, chunk| {
             for row in chunk.chunks_exact_mut(cols.max(1)) {
                 layer_norm_in_place(row, eps);
             }
@@ -767,7 +832,14 @@ impl Matrix {
         let (rows, cols) = x.shape();
         let mut out = Matrix::zeros(rows, cols);
         let (xd, yd, gd) = (&x.data, &y.data, &g.data);
-        parallel::par_row_chunks(&mut out.data, rows, cols, 12 * cols.max(1), |range, chunk| {
+        let reads = |r: &Range<usize>| {
+            vec![
+                Access::read(0, r.start * cols..r.end * cols),
+                Access::read(1, r.start * cols..r.end * cols),
+                Access::read(2, r.start * cols..r.end * cols),
+            ]
+        };
+        parallel::par_row_chunks("layer_norm_rows_grad", &mut out.data, rows, cols, 12 * cols.max(1), reads, |range, chunk| {
             for (off, r) in range.enumerate() {
                 let lo = r * cols;
                 layer_norm_grad_row(

@@ -17,6 +17,7 @@ mod dense;
 mod init;
 pub mod parallel;
 mod pool;
+pub mod sanitize;
 mod sparse;
 pub mod topk;
 

@@ -50,6 +50,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Mutex, OnceLock};
 
+use crate::sanitize;
+
 /// Hard cap on pool workers; a safety bound, far above any sensible
 /// `DGNN_THREADS` for the kernels in this crate.
 pub const MAX_THREADS: usize = 64;
@@ -66,6 +68,73 @@ thread_local! {
     /// dispatch would deadlock on the pool mutex, so it degrades to
     /// serial instead.
     static IN_KERNEL: Cell<bool> = const { Cell::new(false) };
+    /// When set, dispatches permute worker assignment and inject seeded
+    /// per-partition delays — see [`set_fuzz_schedule`].
+    static FUZZ: Cell<Option<FuzzSchedule>> = const { Cell::new(None) };
+}
+
+/// True while the calling thread is inside a partition body (dispatcher
+/// or pool worker). The sanitizer uses this to skip recording nested
+/// (serially degraded) dispatches.
+pub(crate) fn in_kernel() -> bool {
+    IN_KERNEL.with(Cell::get)
+}
+
+/// A deterministic adversarial schedule for [`run_parts`]: partition→worker
+/// assignment is permuted and every partition spin-waits a seeded
+/// pseudo-random delay (`0..=max_delay_us` µs) before running, so worker
+/// *completion orders* vary across seeds. Under the partitioning contract
+/// the output must still be bit-identical to serial — the schedule fuzzer
+/// in `tests/tests/race_sanitizer.rs` asserts exactly that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuzzSchedule {
+    /// Seed for both the assignment permutation and the per-partition
+    /// delays; same seed ⇒ same schedule.
+    pub seed: u64,
+    /// Upper bound (inclusive) on the injected per-partition delay, in
+    /// microseconds. `0` permutes assignment without delaying.
+    pub max_delay_us: u32,
+}
+
+/// Installs (or with `None` removes) an adversarial dispatch schedule for
+/// the calling thread. Test-harness API: schedules cost an allocation per
+/// dispatch and exist to *perturb timing*, never semantics.
+pub fn set_fuzz_schedule(fs: Option<FuzzSchedule>) {
+    FUZZ.with(|c| c.set(fs));
+}
+
+/// One step of the splitmix-style generator used for fuzz schedules; the
+/// high bits are the usable output.
+fn fuzz_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 17
+}
+
+/// Spin-waits the seeded delay for `part` under schedule `fs`.
+fn fuzz_delay(fs: FuzzSchedule, part: usize) {
+    let mut state = fs.seed ^ (part as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let us = fuzz_next(&mut state) % (u64::from(fs.max_delay_us) + 1);
+    if us == 0 {
+        return;
+    }
+    let start = std::time::Instant::now();
+    while (start.elapsed().as_micros() as u64) < us {
+        std::hint::spin_loop();
+    }
+}
+
+/// Seeded Fisher–Yates permutation of `0..n` (worker slots for partitions
+/// `1..parts` under a fuzz schedule).
+fn fuzz_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut slots: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+    for i in (1..n).rev() {
+        let j = (fuzz_next(&mut state) % (i as u64 + 1)) as usize;
+        slots.swap(i, j);
+    }
+    slots
 }
 
 /// Thread count `DGNN_THREADS` / the hardware would give, without
@@ -125,8 +194,16 @@ pub fn planned_parts(items: usize, work_per_item: usize) -> usize {
 
 /// The contiguous sub-range of `0..items` owned by partition `part` of
 /// `parts` (near-even split; earlier partitions take the remainder).
+///
+/// Edge cases are well-defined, not accidental: `items == 0` yields
+/// `0..0` for every partition, and when `parts > items` the trailing
+/// `parts - items` partitions are empty (`start..start`) — both shapes
+/// are exercised by unit tests and a tiling proptest in
+/// `tests/tests/race_sanitizer.rs`.
 pub fn part_range(items: usize, parts: usize, part: usize) -> Range<usize> {
+    debug_assert!(parts >= 1, "part_range: parts must be at least 1");
     debug_assert!(part < parts, "part_range: partition {part} out of {parts}");
+    let parts = parts.max(1);
     let base = items / parts;
     let extra = items % parts;
     let start = part * base + part.min(extra);
@@ -209,6 +286,10 @@ fn pool() -> &'static Mutex<KernelPool> {
 /// `f(0)` directly with zero pool interaction — the guaranteed-serial
 /// fallback.
 ///
+/// When a [`FuzzSchedule`] is installed ([`set_fuzz_schedule`]), the
+/// partition→worker assignment is permuted and each partition spin-waits
+/// a seeded delay first; outputs must be unaffected by construction.
+///
 /// # Panics
 /// Propagates a panic from the caller-run partition; panics with a
 /// generic message if a worker-run partition panicked.
@@ -217,15 +298,31 @@ pub fn run_parts(parts: usize, f: impl Fn(usize) + Sync) {
         f(0);
         return;
     }
-    let f_ref: &(dyn Fn(usize) + Sync) = &f;
+    match FUZZ.with(Cell::get) {
+        None => dispatch(parts, &f, None),
+        Some(fs) => {
+            let delayed = |p: usize| {
+                fuzz_delay(fs, p);
+                f(p);
+            };
+            dispatch(parts, &delayed, Some(fs));
+        }
+    }
+}
+
+/// Pool dispatch body shared by the plain and fuzzed paths. `parts >= 2`
+/// and the caller is not inside a partition (checked by [`run_parts`]).
+fn dispatch(parts: usize, f: &(dyn Fn(usize) + Sync), fuzz: Option<FuzzSchedule>) {
     // The transmute only erases the reference lifetime (identical fat-
     // pointer layout). The pointer stays valid for the whole dispatch: this
     // function does not return — and `f` is not dropped — until every
     // worker has acknowledged completion through the done channel, and the
     // caller-side partition below runs under `catch_unwind` so even a local
     // panic cannot unwind past the acknowledgement loop.
-    // SAFETY: lifetime-only transmute; see above for why it cannot dangle.
-    let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
+    // SAFETY: lifetime-only transmute; the erased reference outlives the
+    // dispatch because the acknowledgement loop below blocks until every
+    // worker reports completion of this exact job set.
+    let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
     let mut kp = match pool().lock() {
         Ok(g) => g,
         // A previous dispatcher panicked after its acknowledgement loop;
@@ -233,8 +330,12 @@ pub fn run_parts(parts: usize, f: impl Fn(usize) + Sync) {
         Err(poisoned) => poisoned.into_inner(),
     };
     kp.ensure_workers(parts - 1);
+    // Under a fuzz schedule, shuffle which worker runs which partition so
+    // completion orders vary; the plain path keeps the fixed assignment.
+    let slots = fuzz.map(|fs| fuzz_permutation(parts - 1, fs.seed));
     for p in 1..parts {
-        kp.senders[p - 1]
+        let slot = slots.as_ref().map_or(p - 1, |s| s[p - 1]);
+        kp.senders[slot]
             .send(Job { task, part: p })
             .expect("kernel pool: a worker job channel closed unexpectedly");
     }
@@ -281,6 +382,14 @@ unsafe impl Sync for SendPtr {}
 /// the exactly-corresponding mutable slice of `out` (`chunk[0]` is the
 /// first element of row `row_range.start`).
 ///
+/// `kernel` names the partition contract registered for this loop in
+/// `dgnn-analysis::race_checker`, and `reads(row_range)` declares every
+/// *input* element span the partition touches (the output write
+/// `row_range.start * cols .. row_range.end * cols` is recorded
+/// automatically). Both are consulted only when sanitize mode is on
+/// ([`crate::sanitize`]); the disabled cost is a single thread-local read
+/// and `reads` is never invoked.
+///
 /// `work_per_row` is the planner's cost estimate (≈FMA units per output
 /// row) used against [`min_par_work`]; pass the serial inner-loop cost
 /// (e.g. `k * n` for a GEMM).
@@ -288,14 +397,24 @@ unsafe impl Sync for SendPtr {}
 /// # Panics
 /// Panics if `out.len() != rows * cols`.
 pub fn par_row_chunks(
+    kernel: &'static str,
     out: &mut [f32],
     rows: usize,
     cols: usize,
     work_per_row: usize,
+    reads: impl Fn(&Range<usize>) -> Vec<sanitize::Access>,
     f: impl Fn(Range<usize>, &mut [f32]) + Sync,
 ) {
     assert_eq!(out.len(), rows * cols, "par_row_chunks: output length mismatch");
     let parts = planned_parts(rows, work_per_row.max(cols).max(1));
+    sanitize::record_raw(kernel, parts, rows, |_, range| {
+        let mut accesses = vec![sanitize::Access::write(
+            sanitize::OUT,
+            range.start * cols..range.end * cols,
+        )];
+        accesses.extend(reads(range));
+        accesses
+    });
     if parts <= 1 {
         f(0..rows, out);
         return;
@@ -335,6 +454,73 @@ mod tests {
     }
 
     #[test]
+    fn part_range_edge_cases() {
+        // Zero items: every partition is the empty range at 0.
+        for parts in 1..6 {
+            for p in 0..parts {
+                assert_eq!(part_range(0, parts, p), 0..0, "items=0 parts={parts} p={p}");
+            }
+        }
+        // Single row: partition 0 owns it, the rest are empty.
+        assert_eq!(part_range(1, 4, 0), 0..1);
+        for p in 1..4 {
+            let r = part_range(1, 4, p);
+            assert!(r.is_empty(), "single row, partition {p} must be empty");
+        }
+        // parts > items: exactly `items` non-empty partitions, all width 1,
+        // and the empty tail still chains contiguously.
+        for p in 0..7 {
+            let r = part_range(3, 7, p);
+            assert_eq!(r.len(), usize::from(p < 3), "items=3 parts=7 p={p}");
+        }
+        let mut end = 0;
+        for p in 0..7 {
+            let r = part_range(3, 7, p);
+            assert_eq!(r.start, end, "ranges must chain without gaps");
+            end = r.end;
+        }
+        assert_eq!(end, 3);
+        // Near-even split: sizes differ by at most one, larger ones first.
+        let sizes: Vec<usize> = (0..5).map(|p| part_range(13, 5, p).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn planned_parts_interacts_with_min_par_work_boundary() {
+        set_threads(8);
+        // Exactly at the threshold: total == min_par_work ⇒ one partition
+        // is allowed to carry it, so the split is total/min_par_work = 1.
+        set_min_par_work(1000);
+        assert_eq!(planned_parts(100, 10), 1, "at-threshold work stays serial");
+        assert_eq!(planned_parts(100, 20), 2, "2× threshold splits in two");
+        assert_eq!(planned_parts(100, 1000), 8, "ample work uses all threads");
+        // items caps the split even with huge work.
+        assert_eq!(planned_parts(3, 1_000_000), 3);
+        set_threads(1);
+        set_min_par_work(DEFAULT_MIN_PAR_WORK);
+    }
+
+    #[test]
+    fn fuzz_schedule_is_deterministic_and_covers_all_partitions() {
+        let fs = FuzzSchedule { seed: 42, max_delay_us: 0 };
+        assert_eq!(fuzz_permutation(6, fs.seed), fuzz_permutation(6, fs.seed));
+        let mut seen = vec![false; 6];
+        for s in fuzz_permutation(6, fs.seed) {
+            assert!(!seen[s], "permutation repeats a slot");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "permutation must cover every slot");
+
+        set_fuzz_schedule(Some(FuzzSchedule { seed: 7, max_delay_us: 20 }));
+        let mask = AtomicUsize::new(0);
+        run_parts(5, |p| {
+            mask.fetch_or(1 << p, Ordering::SeqCst);
+        });
+        set_fuzz_schedule(None);
+        assert_eq!(mask.load(Ordering::SeqCst), 0b11111, "fuzzed dispatch ran every partition");
+    }
+
+    #[test]
     fn planned_parts_respects_threshold_and_threads() {
         set_threads(4);
         set_min_par_work(DEFAULT_MIN_PAR_WORK);
@@ -366,7 +552,7 @@ mod tests {
         set_min_par_work(1);
         let (rows, cols) = (13, 4);
         let mut out = vec![0.0f32; rows * cols];
-        par_row_chunks(&mut out, rows, cols, 1, |range, chunk| {
+        par_row_chunks("map", &mut out, rows, cols, 1, |_| Vec::new(), |range, chunk| {
             for (off, r) in range.enumerate() {
                 for c in 0..cols {
                     chunk[off * cols + c] += (r * cols + c) as f32 + 1.0;

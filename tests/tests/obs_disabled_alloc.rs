@@ -1,24 +1,39 @@
-//! Disabled-mode cost proof: the observability hot path must not allocate
-//! when recording is off. A counting global allocator measures the exact
-//! number of heap allocations across a burst of disabled-mode calls.
+//! Disabled-mode cost proofs: the observability hot path and the kernel
+//! sanitizer's dispatch path must not allocate when recording is off. A
+//! counting global allocator measures the exact number of heap
+//! allocations across a burst of disabled-mode calls.
+//!
+//! The counter is **per-thread**: a process-wide counter would charge the
+//! measuring test for allocations made concurrently by libtest harness
+//! threads or sibling tests, which made the old best-of-N retry version of
+//! this test flaky. A thread-local counter makes each window exact, so one
+//! window with zero retries suffices.
 //!
 //! This lives in its own test binary because `#[global_allocator]` is a
-//! process-wide choice; keeping a single `#[test]` here also keeps the
-//! measurement window free of concurrent harness threads.
+//! process-wide choice.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Allocations made by the *current* thread. `const`-initialized so
+    /// reading it never itself allocates; `try_with` covers TLS teardown.
+    static LOCAL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_allocs() -> u64 {
+    LOCAL_ALLOCS.with(Cell::get)
+}
 
 // SAFETY: delegates every operation to the `System` allocator unchanged;
-// the only addition is a relaxed counter increment, which cannot violate
-// any allocator invariant.
+// the only addition is a thread-local counter bump (const-init TLS, so the
+// bump itself cannot recurse into the allocator), which cannot violate any
+// allocator invariant.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
         // SAFETY: same layout contract as the caller's.
         unsafe { System.alloc(layout) }
     }
@@ -45,36 +60,65 @@ fn disabled_observability_hot_path_never_allocates() {
         dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 1);
     }
 
-    // The counter is process-wide, so a stray allocation on the libtest
-    // harness thread during the window would be charged to us. Take the
-    // minimum over a few attempts: if ANY window of 10k calls observes
-    // zero allocations, the hot path itself is allocation-free, and any
-    // nonzero reading was cross-thread noise.
-    let mut min_allocs = u64::MAX;
-    for _ in 0..5 {
-        let before = ALLOCS.load(Ordering::Relaxed);
-        for _ in 0..10_000 {
-            let _batch = dgnn_obs::span("batch");
-            let _fwd = dgnn_obs::span("forward");
-            dgnn_obs::counter_add("grad_nonfinite", 1);
-            dgnn_obs::gauge_set("lr", 0.01);
-            dgnn_obs::hist_record("grad_norm/preclip", 2.5);
-            dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 120);
-            dgnn_obs::record_op("spmm", dgnn_obs::OpPhase::Backward, 80);
-        }
-        let after = ALLOCS.load(Ordering::Relaxed);
-        min_allocs = min_allocs.min(after - before);
-        if min_allocs == 0 {
-            break;
-        }
+    let before = local_allocs();
+    for _ in 0..10_000 {
+        let _batch = dgnn_obs::span("batch");
+        let _fwd = dgnn_obs::span("forward");
+        dgnn_obs::counter_add("grad_nonfinite", 1);
+        dgnn_obs::gauge_set("lr", 0.01);
+        dgnn_obs::hist_record("grad_norm/preclip", 2.5);
+        dgnn_obs::record_op("matmul", dgnn_obs::OpPhase::Forward, 120);
+        dgnn_obs::record_op("spmm", dgnn_obs::OpPhase::Backward, 80);
     }
-    assert_eq!(
-        min_allocs, 0,
-        "disabled-mode recording must be allocation-free"
-    );
+    let allocs = local_allocs() - before;
+    assert_eq!(allocs, 0, "disabled-mode recording must be allocation-free");
 
     // The same calls while disabled must also have recorded nothing.
     assert!(dgnn_obs::take_events().is_empty());
     let snap = dgnn_obs::snapshot();
     assert!(snap.counters.is_empty() && snap.histograms.is_empty() && snap.ops.is_empty());
+}
+
+#[test]
+fn disabled_sanitizer_dispatch_path_never_allocates() {
+    use dgnn_tensor::{parallel, sanitize};
+
+    sanitize::set_enabled(false);
+
+    // Warm up: resolve the pool's thread-local settings and run one
+    // dispatch so nothing lazy remains inside the window. The output
+    // buffer is preallocated; the kernel body writes in place.
+    let rows = 64usize;
+    let mut out = vec![0.0f32; rows];
+    parallel::par_row_chunks("map", &mut out, rows, 1, 1, |_| Vec::new(), |range, chunk| {
+        for (off, r) in range.enumerate() {
+            chunk[off] = r as f32;
+        }
+    });
+
+    let before = local_allocs();
+    for _ in 0..2_000 {
+        // With sanitize off, the reads closure must never run (it would
+        // allocate a Vec) and no Dispatch may be logged: the only sanitizer
+        // cost on this path is one thread-local Cell read.
+        parallel::par_row_chunks(
+            "map",
+            &mut out,
+            rows,
+            1,
+            1,
+            |_| vec![sanitize::Access::read(0, 0..rows)],
+            |range, chunk| {
+                for (off, r) in range.enumerate() {
+                    chunk[off] += r as f32;
+                }
+            },
+        );
+        sanitize::record_raw("map", 1, rows, |_, r| {
+            vec![sanitize::Access::write(sanitize::OUT, r.start..r.end)]
+        });
+    }
+    let allocs = local_allocs() - before;
+    assert_eq!(allocs, 0, "disabled sanitizer dispatch path must be allocation-free");
+    assert!(sanitize::take_log().is_empty(), "disabled mode must not record dispatches");
 }
