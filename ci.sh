@@ -6,33 +6,33 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== [1/9] source lints (dgnn-analysis lint harness) ==="
+echo "=== [1/10] source lints (dgnn-analysis lint harness) ==="
 cargo run -q -p dgnn-analysis --bin lint .
 
-echo "=== [2/9] compute-graph audit (ShapeTracer over DGNN + baselines) ==="
+echo "=== [2/10] compute-graph audit (ShapeTracer over DGNN + baselines) ==="
 cargo test -q -p dgnn-analysis
 cargo test -q -p dgnn-integration-tests --test ablation_shape static_analysis
 
-echo "=== [3/9] release build (warnings denied) ==="
+echo "=== [3/10] release build (warnings denied) ==="
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
 
-echo "=== [4/9] full test suite (serial and 4-thread kernel pool) ==="
+echo "=== [4/10] full test suite (serial and 4-thread kernel pool) ==="
 DGNN_THREADS=1 cargo test -q --workspace
 DGNN_THREADS=4 cargo test -q --workspace
 
-echo "=== [5/9] full test suite under the graph optimizer ==="
+echo "=== [5/10] full test suite under the graph optimizer ==="
 # DGNN_GRAPH_OPT=1 forces every traced model through the optimize ->
 # check_rewrites -> proven-harness path, so the whole suite doubles as a
 # bit-identity certificate for optimized execution.
 DGNN_GRAPH_OPT=1 cargo test -q --workspace
 
-echo "=== [6/9] memory-plan peak-live-bytes regression gate ==="
+echo "=== [6/10] memory-plan peak-live-bytes regression gate ==="
 cargo run -q --release -p dgnn-bench --bin memplan -- --check analysis-baseline.json
 
-echo "=== [7/9] training steps/sec regression gate (profiled) ==="
+echo "=== [7/10] training steps/sec regression gate (profiled) ==="
 cargo run -q --release -p dgnn-bench --bin profile -- --check BENCH_profile.json
 
-echo "=== [8/9] race sanitizer (shadow-access proof + schedule fuzzer + contract gate) ==="
+echo "=== [8/10] race sanitizer (shadow-access proof + schedule fuzzer + contract gate) ==="
 # DGNN_SANITIZE=1 turns on shadow-access tracking; the suite proves every
 # pooled kernel's partition disjointness, runs the malicious-kernel typed
 # failures, and certifies bit-identity under fuzzed worker schedules. The
@@ -40,7 +40,10 @@ echo "=== [8/9] race sanitizer (shadow-access proof + schedule fuzzer + contract
 DGNN_THREADS=4 DGNN_SANITIZE=1 cargo test -q -p dgnn-integration-tests --test race_sanitizer
 DGNN_THREADS=4 cargo run -q --release -p dgnn-bench --bin sanitize -- --check
 
-echo "=== [9/9] serving gate (checkpoint + HTTP load + qps regression) ==="
+echo "=== [9/10] telemetry gate (percentile/prometheus properties + live scrape + flight dump) ==="
+cargo test -q -p dgnn-integration-tests --test telemetry
+
+echo "=== [10/10] serving gate (checkpoint + HTTP load + live /metrics scrape + qps and obs-overhead regression) ==="
 cargo run -q --release -p dgnn-bench --bin loadgen -- --check BENCH_serve.json
 
 echo "CI_OK"

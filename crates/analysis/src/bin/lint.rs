@@ -43,6 +43,13 @@
 //!    `dgnn_analysis::race_checker` — a parallel dispatch with no
 //!    registered partition contract cannot be proven race-free by the
 //!    sanitizer.
+//! 13. metric-name: a string literal passed as the first argument of
+//!    `hist_record(` / `gauge_set(` / `counter_add(` / `hist_merge(` must
+//!    match `^[a-z0-9_]+(/[a-z0-9_]+)*$` (lower_snake segments joined by
+//!    `/`) or carry a nearby `// OBS:` comment. The Prometheus exporter
+//!    sanitizes names on the way out, so two sloppy spellings would merge
+//!    into one exported series; keeping registry names canonical at the
+//!    call site makes `/metrics` ↔ registry lookups one-to-one.
 //!
 //! `target/` and `third_party/` directories are never scanned.
 //!
@@ -90,6 +97,10 @@ struct Needles {
     rewrite_action: String,
     par_chunks: String,
     run_parts: String,
+    hist_record: String,
+    gauge_set: String,
+    counter_add: String,
+    hist_merge: String,
 }
 
 impl Needles {
@@ -109,6 +120,10 @@ impl Needles {
             rewrite_action: format!("RewriteAction{}", "::"),
             par_chunks: format!("par_row_chu{}(", "nks"),
             run_parts: format!("run_pa{}(", "rts"),
+            hist_record: format!("hist_rec{}(", "ord"),
+            gauge_set: format!("gauge_s{}(", "et"),
+            counter_add: format!("counter_a{}(", "dd"),
+            hist_merge: format!("hist_mer{}(", "ge"),
         }
     }
 }
@@ -336,6 +351,29 @@ fn expect_message_len(code: &str, paren: usize) -> usize {
         Some(close) => close,
         None => body.len(), // message continues past the stripped region
     }
+}
+
+/// The string literal opening right after a metric-call needle, read from
+/// the RAW line (the stripper blanks string contents, so the name only
+/// survives there). `after` points one past the needle's `(`. Returns
+/// `None` when the first argument is not a literal on this line — a
+/// `format!`/variable name is dynamic and rule 13 does not judge it.
+fn metric_name_literal(raw: &str, after: usize) -> Option<&str> {
+    let rest = raw.get(after..)?;
+    let rest = rest.trim_start();
+    let body = rest.strip_prefix('"')?;
+    let close = body.find('"')?;
+    Some(&body[..close])
+}
+
+/// Rule 13's canonical-name check: `^[a-z0-9_]+(/[a-z0-9_]+)*$`, spelled
+/// out by hand because the workspace has no regex crate.
+fn valid_metric_literal(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('/').all(|seg| {
+            !seg.is_empty()
+                && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
 }
 
 fn lint_file(
@@ -614,6 +652,34 @@ fn lint_file(
                 }),
             }
         }
+        for needle in [
+            &needles.hist_record,
+            &needles.gauge_set,
+            &needles.counter_add,
+            &needles.hist_merge,
+        ] {
+            // Gate on the stripped code (so doc/comment examples never
+            // fire), then read the literal back out of the raw line where
+            // the stripper blanked it.
+            if !code.contains(needle.as_str()) {
+                continue;
+            }
+            let Some(pos) = raw.find(needle.as_str()) else { continue };
+            let Some(name) = metric_name_literal(raw, pos + needle.len()) else { continue };
+            if !valid_metric_literal(name) && !has_marker(&lines, i, "OBS:") {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "metric-name",
+                    detail: format!(
+                        "metric name `{name}` is not canonical \
+                         (lower_snake segments joined by `/`); the Prometheus \
+                         exporter would silently merge sloppy spellings — \
+                         rename it or justify with a nearby // OBS: comment"
+                    ),
+                });
+            }
+        }
     }
 }
 
@@ -841,6 +907,74 @@ mod tests {
         violations.clear();
         lint_file(Path::new("crates/tensor/src/dense.rs"), &text, &needles, &mut violations, &mut todos);
         assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metric_name_rule_demands_canonical_literals() {
+        let needles = Needles::new();
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        let path = Path::new("crates/core/src/training.rs");
+
+        // A canonical slash-joined lower_snake name passes.
+        let ok = format!("dgnn_obs::{}\"train/epoch_loss\", 1.0);\n", needles.hist_record);
+        lint_file(path, &ok, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // Uppercase, dots, and empty segments all fire.
+        for bad in ["Train/Loss", "train.loss", "train//loss", "/train", "train/"] {
+            violations.clear();
+            let text = format!("dgnn_obs::{}\"{bad}\", 1.0);\n", needles.gauge_set);
+            lint_file(path, &text, &needles, &mut violations, &mut todos);
+            assert_eq!(violations.len(), 1, "`{bad}` should fire, got {:?}",
+                violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+            assert_eq!(violations[0].rule, "metric-name");
+            assert!(violations[0].detail.contains(bad));
+        }
+
+        // An OBS: marker within the window justifies a non-canonical name.
+        violations.clear();
+        let justified = format!(
+            "// OBS: legacy dashboard key, renaming would break saved queries\ndgnn_obs::{}\"Legacy.Name\", 1);\n",
+            needles.counter_add
+        );
+        lint_file(path, &justified, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // Dynamic names (format!/variables) are not judged by this rule.
+        violations.clear();
+        let dynamic = format!("dgnn_obs::{}&format!(\"serve/phase/{{p}}_ms\"), v);\n", needles.gauge_set);
+        lint_file(path, &dynamic, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // Test regions keep their one-letter scratch names.
+        violations.clear();
+        let attr = format!("#[cfg(te{})]", "st");
+        let in_test = format!(
+            "{attr}\nmod tests {{\n    fn f() {{ {}\"BAD NAME\", 2.0); }}\n}}\n",
+            needles.hist_merge
+        );
+        lint_file(path, &in_test, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // A doc-comment usage example never fires: the stripped code gate
+        // sees only the comment-free line.
+        violations.clear();
+        let doc = format!("// e.g. {}\"Bad.Example\", 1.0);\nlet x = 1;\n", needles.hist_record);
+        lint_file(path, &doc, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metric_literal_charset() {
+        assert!(valid_metric_literal("serve/latency_ms"));
+        assert!(valid_metric_literal("loss"));
+        assert!(valid_metric_literal("a/b/c_0"));
+        assert!(!valid_metric_literal(""));
+        assert!(!valid_metric_literal("A"));
+        assert!(!valid_metric_literal("a-b"));
+        assert!(!valid_metric_literal("a b"));
+        assert!(!valid_metric_literal("a//b"));
     }
 
     #[test]

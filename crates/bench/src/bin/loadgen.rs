@@ -13,12 +13,22 @@
 //! Metrics flow through `dgnn-obs`: latency histograms plus
 //! `serve/latency_ms_{p50,p95,p99}`, `serve/qps`, `serve/batch_size_mean`
 //! gauges, serialized by the same `snapshot_to_json` path as
-//! `BENCH_profile.json`.
+//! `BENCH_profile.json`. On top of that the harness validates the live
+//! telemetry endpoints mid-load (`/metrics` must parse as Prometheus
+//! text, `/stats` as the JSON snapshot, `/debug/flight` as JSONL), folds
+//! a **phase-attribution report** into the snapshot (p50/p99 per serving
+//! phase plus each phase group's share of summed p99 —
+//! `serve/attribution/{queue,compute,write}_share_p99`), and measures the
+//! overhead of live telemetry by replaying load against a fresh server
+//! with the process-shared instruments toggled on/off in round-robin
+//! (rotating start, best-of — the same drift defense as the profile
+//! gates), published as `serve/obs_overhead_ratio`.
 //!
 //! ```text
 //! loadgen                   run and write BENCH_serve.json + results/dgnn.ckpt
 //! loadgen --check PATH      no artifacts; exit 1 on zero successful
-//!                           requests or >25% qps regression vs. PATH
+//!                           requests, >25% qps regression vs. PATH, or
+//!                           obs-enabled qps < 0.9x obs-disabled qps
 //! ```
 //!
 //! qps is machine- and load-dependent; the 25% budget (matching the
@@ -44,6 +54,16 @@ const REGRESSION_BUDGET: f64 = 0.25;
 const CLIENTS: usize = 6;
 /// Requests each client fires.
 const REQUESTS_PER_CLIENT: usize = 150;
+/// Minimum obs-enabled/obs-disabled qps ratio before `--check` fails:
+/// live telemetry may cost at most 10% throughput.
+const OBS_OVERHEAD_FLOOR: f64 = 0.9;
+/// Interleaved measurement rounds per telemetry configuration.
+const OVERHEAD_ROUNDS: usize = 3;
+/// Requests per client in each overhead round (shorter than the main
+/// run — six rounds must stay cheap).
+const OVERHEAD_REQUESTS: usize = 60;
+/// The serving phases traced per request, in pipeline order.
+const PHASES: [&str; 5] = ["parse", "queue_wait", "batch_assembly", "engine", "write"];
 
 fn quick_dgnn() -> DgnnConfig {
     DgnnConfig {
@@ -82,7 +102,7 @@ fn http_raw(addr: SocketAddr, payload: &[u8]) -> std::io::Result<String> {
 }
 
 /// Closed-loop client load; returns (ok, err, elapsed_secs).
-fn drive_load(addr: SocketAddr, num_users: usize) -> (u64, u64, f64) {
+fn drive_load(addr: SocketAddr, num_users: usize, requests_per_client: usize) -> (u64, u64, f64) {
     let started = Instant::now();
     let mut handles = Vec::new();
     for c in 0..CLIENTS {
@@ -90,8 +110,8 @@ fn drive_load(addr: SocketAddr, num_users: usize) -> (u64, u64, f64) {
         // server under test — not kernel work.
         handles.push(std::thread::spawn(move || {
             let (mut ok, mut err) = (0u64, 0u64);
-            for r in 0..REQUESTS_PER_CLIENT {
-                let user = (c * REQUESTS_PER_CLIENT + r * 7) % num_users;
+            for r in 0..requests_per_client {
+                let user = (c * requests_per_client + r * 7) % num_users;
                 let k = 5 + (r % 3) * 5;
                 match http_get(addr, &format!("/recommend?user={user}&k={k}")) {
                     Ok((200, _)) => ok += 1,
@@ -108,10 +128,107 @@ fn drive_load(addr: SocketAddr, num_users: usize) -> (u64, u64, f64) {
                 ok += o;
                 err += e;
             }
-            Err(_) => err += REQUESTS_PER_CLIENT as u64,
+            Err(_) => err += requests_per_client as u64,
         }
     }
     (ok, err, started.elapsed().as_secs_f64())
+}
+
+/// Scrapes the live telemetry endpoints while the server is under load
+/// and validates each one parses: `/metrics` through the Prometheus
+/// text parser, `/stats` as the snapshot JSON, `/debug/flight` as
+/// event-per-line JSONL, `/health` with its enriched fields. Returns the
+/// number of failed expectations.
+fn validate_scrapes(addr: SocketAddr) -> usize {
+    let mut failures = 0;
+    match http_get(addr, "/metrics") {
+        Ok((200, body)) => match dgnn_obs::export::parse_prometheus_text(&body) {
+            Ok(samples) => {
+                let sample = |name: &str| samples.iter().find(|s| s.name == name);
+                let served = sample("serve_latency_ms_count").map_or(0.0, |s| s.value);
+                if served <= 0.0 {
+                    eprintln!("scrape: /metrics shows no served requests: {samples:?}");
+                    failures += 1;
+                }
+                if sample("serve_phase_queue_wait_ms_count").is_none() {
+                    eprintln!("scrape: /metrics is missing the phase histograms");
+                    failures += 1;
+                }
+                let buckets: Vec<f64> = samples
+                    .iter()
+                    .filter(|s| s.name == "serve_latency_ms_bucket")
+                    .map(|s| s.value)
+                    .collect();
+                if buckets.is_empty() || buckets.windows(2).any(|w| w[0] > w[1]) {
+                    eprintln!("scrape: /metrics latency buckets not cumulative: {buckets:?}");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("scrape: /metrics does not parse: {e}");
+                failures += 1;
+            }
+        },
+        other => {
+            eprintln!("scrape: /metrics -> {other:?}");
+            failures += 1;
+        }
+    }
+    match http_get(addr, "/stats") {
+        Ok((200, body))
+            if body.contains("\"histograms\"") && body.contains("\"serve/latency_ms\"") => {}
+        other => {
+            eprintln!("scrape: /stats missing snapshot sections: {other:?}");
+            failures += 1;
+        }
+    }
+    match http_get(addr, "/debug/flight") {
+        Ok((200, body)) => {
+            let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+            if lines.is_empty()
+                || lines.iter().any(|l| !l.starts_with("{\"t_ns\":") || !l.contains("\"kind\":"))
+            {
+                eprintln!("scrape: /debug/flight is not event-per-line JSONL");
+                failures += 1;
+            }
+        }
+        other => {
+            eprintln!("scrape: /debug/flight -> {other:?}");
+            failures += 1;
+        }
+    }
+    match http_get(addr, "/health") {
+        Ok((200, body)) if body.contains("\"uptime_secs\":") && body.contains("\"ready\":true") => {
+        }
+        other => {
+            eprintln!("scrape: /health missing enriched fields: {other:?}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Measures what live telemetry costs: drives identical load at a fresh
+/// server with the process-shared instruments on vs. off, interleaved
+/// with a rotating start and scored best-of-[`OVERHEAD_ROUNDS`] per
+/// configuration (machine drift hits both alike). Returns
+/// `qps_enabled / qps_disabled`; ≥ [`OBS_OVERHEAD_FLOOR`] passes.
+fn obs_overhead_ratio(addr: SocketAddr, num_users: usize) -> f64 {
+    let mut best = [0.0f64; 2]; // [disabled, enabled]
+    for round in 0..OVERHEAD_ROUNDS {
+        for leg in 0..2 {
+            let enabled = (round + leg) % 2 == 1;
+            dgnn_obs::set_live_telemetry(enabled);
+            let (ok, err, secs) = drive_load(addr, num_users, OVERHEAD_REQUESTS);
+            let qps = (ok + err) as f64 / secs.max(1e-9);
+            let slot = usize::from(enabled);
+            if qps > best[slot] {
+                best[slot] = qps;
+            }
+        }
+    }
+    dgnn_obs::set_live_telemetry(true);
+    best[1] / best[0].max(1e-9)
 }
 
 /// Malformed-request smoke: every probe must yield a well-formed JSON
@@ -252,12 +369,15 @@ fn main() -> ExitCode {
     );
 
     let smoke_failures = malformed_smoke(addr);
-    let (ok, err, elapsed) = drive_load(addr, num_users);
+    let (ok, err, elapsed) = drive_load(addr, num_users, REQUESTS_PER_CLIENT);
     println!(
         "load: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests -> {ok} ok / {err} err \
          in {elapsed:.2}s ({:.0} qps)",
         (ok + err) as f64 / elapsed.max(1e-9)
     );
+
+    // Telemetry endpoints must serve and parse while the process is warm.
+    let scrape_failures = validate_scrapes(addr);
 
     // Served result == direct engine result for the same query.
     let mut consistency_failures = 0;
@@ -279,6 +399,18 @@ fn main() -> ExitCode {
     let stats = server.stats();
     server.shutdown();
 
+    // Overhead measurement runs against a *fresh* server so its traffic
+    // cannot pollute the main run's stats (qps, percentiles).
+    let overhead_engine = Engine::load(ckpt_path).expect("loadgen: reloading checkpoint");
+    let overhead_server =
+        Server::start(overhead_engine, ServeConfig::default()).expect("loadgen: overhead server");
+    let obs_overhead = obs_overhead_ratio(overhead_server.addr(), num_users);
+    overhead_server.shutdown();
+    println!(
+        "obs overhead: enabled/disabled qps ratio {obs_overhead:.3} \
+         (best of {OVERHEAD_ROUNDS} interleaved rounds per config)"
+    );
+
     let (topk_secs, sort_secs) = topk_vs_sort(256, 4096, 20);
     let speedup = sort_secs / topk_secs.max(1e-9);
     println!(
@@ -296,8 +428,45 @@ fn main() -> ExitCode {
     dgnn_obs::gauge_set("serve/requests_per_client", REQUESTS_PER_CLIENT as f64);
     dgnn_obs::gauge_set("serve/checkpoint_bytes", ckpt_bytes as f64);
     dgnn_obs::gauge_set("serve/topk_speedup_vs_sort", speedup);
+    dgnn_obs::gauge_set("serve/obs_overhead_ratio", obs_overhead);
     dgnn_obs::counter_add("serve/smoke_failures", smoke_failures as u64);
+    dgnn_obs::counter_add("serve/scrape_failures", scrape_failures as u64);
     dgnn_obs::counter_add("serve/consistency_failures", consistency_failures);
+
+    // Phase attribution: per-phase p50/p99 from the live shared histograms
+    // plus each phase group's share of the summed p99 — "is tail latency
+    // queueing or compute?" answered from the benchmark artifact alone.
+    let shared_hists = dgnn_obs::shared::hist_snapshots();
+    let mut phase_p99: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    println!("phase attribution (p50 / p99 ms):");
+    for phase in PHASES {
+        if let Some(h) = shared_hists.get(&format!("serve/phase/{phase}_ms")) {
+            let (q50, q99) = (h.quantile(0.50), h.quantile(0.99));
+            dgnn_obs::gauge_set(&format!("serve/phase/{phase}_p50_ms"), q50);
+            dgnn_obs::gauge_set(&format!("serve/phase/{phase}_p99_ms"), q99);
+            phase_p99.insert(phase, q99);
+            println!("  {phase:<15} {q50:>8.3} / {q99:>8.3}");
+        }
+    }
+    let p99_total: f64 = phase_p99.values().sum();
+    if p99_total > 0.0 {
+        let share = |keys: &[&str]| {
+            keys.iter().filter_map(|k| phase_p99.get(k)).sum::<f64>() / p99_total
+        };
+        let queue = share(&["queue_wait", "batch_assembly"]);
+        let compute = share(&["parse", "engine"]);
+        let write = share(&["write"]);
+        dgnn_obs::gauge_set("serve/attribution/queue_share_p99", queue);
+        dgnn_obs::gauge_set("serve/attribution/compute_share_p99", compute);
+        dgnn_obs::gauge_set("serve/attribution/write_share_p99", write);
+        println!(
+            "p99 share: queue {:.0}% / compute {:.0}% / write {:.0}%",
+            queue * 100.0,
+            compute * 100.0,
+            write * 100.0
+        );
+    }
+
     let snapshot = dgnn_obs::snapshot();
     dgnn_obs::disable();
     dgnn_obs::reset();
@@ -310,10 +479,11 @@ fn main() -> ExitCode {
         summary.batches
     );
 
-    if smoke_failures > 0 || consistency_failures > 0 {
+    if smoke_failures > 0 || consistency_failures > 0 || scrape_failures > 0 {
         eprintln!(
             "FAIL: {smoke_failures} malformed-request smoke failure(s), \
-             {consistency_failures} consistency failure(s)"
+             {consistency_failures} consistency failure(s), \
+             {scrape_failures} telemetry scrape failure(s)"
         );
         return ExitCode::FAILURE;
     }
@@ -321,6 +491,13 @@ fn main() -> ExitCode {
     if let Some(path) = check_path {
         if ok == 0 {
             eprintln!("REGRESSION serve: zero successful requests");
+            return ExitCode::FAILURE;
+        }
+        if obs_overhead < OBS_OVERHEAD_FLOOR {
+            eprintln!(
+                "REGRESSION serve: live telemetry costs too much — obs-enabled qps is \
+                 {obs_overhead:.3}x obs-disabled (floor {OBS_OVERHEAD_FLOOR})"
+            );
             return ExitCode::FAILURE;
         }
         let json = std::fs::read_to_string(path).expect("loadgen: reading baseline file");

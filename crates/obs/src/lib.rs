@@ -18,6 +18,22 @@
 //!   invocation counts per tape op kind, fed by `dgnn-autograd`'s
 //!   `TapeObserver`.
 //!
+//! Serving adds three process-wide instruments on top (multi-threaded
+//! producers, one scrape consumer):
+//!
+//! * **Shared metrics** ([`shared`]) — atomic counters/gauges/streaming
+//!   histograms handed out as `&'static` handles; record paths are
+//!   lock-free and allocation-free.
+//! * **Streaming histograms** ([`StreamHist`]) — bounded log2-bucketed
+//!   quantile sketches behind both the shared registry and the serving
+//!   tier's latency stats; [`percentile`] holds the workspace's one
+//!   nearest-rank percentile definition.
+//! * **Flight recorder** ([`flight`]) — an always-on fixed-size ring of
+//!   recent events, dumped as JSONL on panic or on demand.
+//!
+//! [`export::prometheus_text`] renders any snapshot in Prometheus text
+//! exposition for a `/metrics` endpoint.
+//!
 //! # Enable discipline
 //!
 //! Everything is gated on a thread-local flag ([`enable`] / [`disable`]).
@@ -40,6 +56,10 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
+pub mod percentile;
+pub mod shared;
+pub mod streamhist;
 
 mod clock;
 mod metrics;
@@ -47,9 +67,16 @@ mod ops;
 mod span;
 
 pub use clock::{now_ns, thread_cpu_ns};
-pub use metrics::{counter_add, gauge_set, hist_record, HistStat, Snapshot};
+pub use flight::{
+    flight_clear, flight_dump_jsonl, flight_record, flight_snapshot, flight_to_jsonl,
+    flight_total, FlightEvent, FlightKind, FLIGHT_CAPACITY,
+};
+pub use metrics::{counter_add, gauge_set, hist_merge, hist_record, HistStat, Snapshot};
 pub use ops::{record_op, OpPhase, OpStat};
+pub use percentile::{percentile_sorted, percentile_sorted_u64};
+pub use shared::{live_telemetry_enabled, set_live_telemetry};
 pub use span::{span, span_owned, timed, SpanEvent, SpanGuard, SpanPhase};
+pub use streamhist::StreamHist;
 
 use std::cell::Cell;
 

@@ -211,6 +211,8 @@ impl Engine {
             return out;
         }
         let users: Vec<usize> = valid.iter().map(|&i| queries[i].user as usize).collect();
+        let telemetry = crate::trace::telemetry();
+        let t0 = dgnn_obs::now_ns();
         let mut scores = self.user.gather_rows(&users).matmul_nt(&self.item);
         for (row, &i) in valid.iter().enumerate() {
             if queries[i].exclude_seen {
@@ -222,8 +224,11 @@ impl Engine {
                 }
             }
         }
+        let t1 = dgnn_obs::now_ns();
         let k_max = valid.iter().map(|&i| queries[i].k).max().unwrap_or(1);
         let top = top_k_rows(&scores, k_max);
+        telemetry.gather_matmul_ms.record(t1.saturating_sub(t0) as f64 / 1e6);
+        telemetry.topk_ms.record(dgnn_obs::now_ns().saturating_sub(t1) as f64 / 1e6);
         for (row, &i) in valid.iter().enumerate() {
             let items: Vec<ScoredItem> = top
                 .row(row)

@@ -21,17 +21,38 @@
 //! responses — never a panic. Handlers emit `dgnn-obs` spans (active when
 //! the handling thread has obs enabled) and record latency/batch samples
 //! into [`ServerStats`].
+//!
+//! # Live telemetry
+//!
+//! Every request carries a [`RequestTrace`]: phase timings (parse,
+//! queue-wait, batch-assembly, engine, write) recorded live into the
+//! process-shared histograms, scrapeable while the server runs:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4);
+//! * `GET /stats` — the same snapshot as JSON;
+//! * `GET /health` — enriched with uptime, requests served, readiness;
+//! * `GET /debug/flight` — the flight-recorder ring as JSONL.
+//!
+//! Worker and batcher threads hold a [`FlightDumpOnPanic`] guard: if one
+//! panics, the flight recorder's last ~512 events are dumped as JSONL to
+//! [`ServeConfig::flight_dump`] before the thread dies. A deliberate
+//! crash for drills lives at `GET /debug/panic`, off unless
+//! [`ServeConfig::debug_panic`] opts in.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use dgnn_obs::{flight_record, now_ns, FlightKind};
+
 use crate::engine::{Engine, Query, QueryError, ScoredItem};
 use crate::stats::ServerStats;
+use crate::trace::{telemetry, PhaseBreakdown, RequestTrace};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -48,6 +69,13 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// `k` used when a request does not specify one.
     pub default_k: usize,
+    /// Where a panicking worker/batcher dumps the flight recorder (JSONL).
+    /// `None` disables the dump file; `/debug/flight` still serves the
+    /// ring.
+    pub flight_dump: Option<PathBuf>,
+    /// Enables `GET /debug/panic` (crash-drill injection). Off by default;
+    /// only test/benchmark harnesses opt in.
+    pub debug_panic: bool,
 }
 
 impl Default for ServeConfig {
@@ -59,13 +87,38 @@ impl Default for ServeConfig {
             batch_tick: Duration::from_millis(2),
             read_timeout: Duration::from_secs(5),
             default_k: 10,
+            flight_dump: None,
+            debug_panic: false,
         }
     }
 }
 
 struct Job {
     query: Query,
-    reply: mpsc::Sender<Result<Vec<ScoredItem>, QueryError>>,
+    /// [`now_ns`] at enqueue; the batcher derives queue-wait from it.
+    enqueued_ns: u64,
+    reply: mpsc::Sender<(Result<Vec<ScoredItem>, QueryError>, PhaseBreakdown)>,
+}
+
+/// Dumps the flight recorder to a file if the owning thread unwinds.
+/// Workers and the batcher hold one for their whole loop; the `Drop` runs
+/// during unwinding, after the panic payload is built but before the
+/// thread dies, so the dump always captures the `panic` event.
+struct FlightDumpOnPanic {
+    path: Option<PathBuf>,
+}
+
+impl Drop for FlightDumpOnPanic {
+    fn drop(&mut self) {
+        if !thread::panicking() {
+            return;
+        }
+        flight_record(FlightKind::Panic, 0, 0);
+        if let Some(path) = &self.path {
+            // Best effort: a failed dump must not double-panic the thread.
+            let _ = std::fs::write(path, dgnn_obs::flight_dump_jsonl());
+        }
+    }
 }
 
 /// A running server; dropping (or [`Server::shutdown`]) stops every thread.
@@ -85,17 +138,19 @@ impl Server {
         let stats = Arc::new(ServerStats::new());
         let stop = Arc::new(AtomicBool::new(false));
         let engine = Arc::new(engine);
+        let started = Instant::now();
         let mut threads = Vec::new();
 
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         {
             let (engine, stats) = (Arc::clone(&engine), Arc::clone(&stats));
             let (batch_max, tick) = (cfg.batch_max.max(1), cfg.batch_tick);
+            let dump = cfg.flight_dump.clone();
             // PAR: serving infrastructure thread (request coalescing), not a
             // compute kernel; the engine's kernels still run on the pool.
             let t = thread::Builder::new()
                 .name("dgnn-serve-batcher".to_string())
-                .spawn(move || batcher_loop(&engine, &stats, &job_rx, batch_max, tick))?;
+                .spawn(move || batcher_loop(&engine, &stats, &job_rx, batch_max, tick, dump))?;
             threads.push(t);
         }
 
@@ -111,7 +166,7 @@ impl Server {
             // a compute kernel.
             let t = thread::Builder::new()
                 .name(format!("dgnn-serve-worker-{w}"))
-                .spawn(move || worker_loop(&conn_rx, &job_tx, &engine, &stats, &cfg))?;
+                .spawn(move || worker_loop(&conn_rx, &job_tx, &engine, &stats, &cfg, started))?;
             threads.push(t);
         }
         drop(job_tx);
@@ -177,10 +232,16 @@ fn batcher_loop(
     rx: &mpsc::Receiver<Job>,
     batch_max: usize,
     tick: Duration,
+    flight_dump: Option<PathBuf>,
 ) {
+    let _dump_guard = FlightDumpOnPanic { path: flight_dump };
+    let mut batch_id = 0u64;
     // Runs until every worker (job sender) has exited.
     while let Ok(first) = rx.recv() {
         let _g = dgnn_obs::span("serve/batch");
+        // Per-job dequeue timestamps: queue-wait ends (and batch assembly
+        // begins) the moment the batcher takes a job off the channel.
+        let mut dequeued_ns = vec![now_ns()];
         let mut jobs = vec![first];
         let deadline = Instant::now() + tick;
         while jobs.len() < batch_max {
@@ -189,16 +250,32 @@ fn batcher_loop(
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(j) => jobs.push(j),
+                Ok(j) => {
+                    dequeued_ns.push(now_ns());
+                    jobs.push(j);
+                }
                 Err(_) => break,
             }
         }
+        batch_id += 1;
         stats.record_batch(jobs.len());
+        telemetry().batch_size.record(jobs.len() as f64);
+        flight_record(FlightKind::BatchStart, batch_id, jobs.len() as u64);
         let queries: Vec<Query> = jobs.iter().map(|j| j.query).collect();
+        let t_engine0 = now_ns();
         let results = engine.recommend_batch(&queries);
-        for (job, result) in jobs.into_iter().zip(results) {
+        let engine_us = now_ns().saturating_sub(t_engine0) / 1000;
+        flight_record(FlightKind::BatchDone, batch_id, engine_us);
+        let batch_size = jobs.len() as u32;
+        for ((job, result), deq_ns) in jobs.into_iter().zip(results).zip(dequeued_ns) {
+            let phases = PhaseBreakdown {
+                queue_wait_us: deq_ns.saturating_sub(job.enqueued_ns) / 1000,
+                batch_assembly_us: t_engine0.saturating_sub(deq_ns) / 1000,
+                engine_us,
+                batch_size,
+            };
             // A dropped reply receiver just means the client went away.
-            let _ = job.reply.send(result);
+            let _ = job.reply.send((result, phases));
         }
     }
 }
@@ -209,13 +286,15 @@ fn worker_loop(
     engine: &Engine,
     stats: &ServerStats,
     cfg: &ServeConfig,
+    server_started: Instant,
 ) {
+    let _dump_guard = FlightDumpOnPanic { path: cfg.flight_dump.clone() };
     loop {
         // Take the lock only to pop the next connection; a poisoned lock
         // (a peer worker panicked mid-pop) leaves the queue usable.
         let next = conn_rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
         match next {
-            Ok(stream) => handle_connection(stream, job_tx, engine, stats, cfg),
+            Ok(stream) => handle_connection(stream, job_tx, engine, stats, cfg, server_started),
             Err(_) => return,
         }
     }
@@ -229,24 +308,35 @@ fn handle_connection(
     engine: &Engine,
     stats: &ServerStats,
     cfg: &ServeConfig,
+    server_started: Instant,
 ) {
     let _g = dgnn_obs::span("serve/request");
-    let started = Instant::now();
+    let mut trace = RequestTrace::begin();
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader) {
-        Ok(target) => route(&target, job_tx, engine, cfg),
+    let parsed = read_request(&mut reader);
+    trace.parse_us = trace.elapsed_us();
+    let ctx = RouteCtx { engine, stats, cfg, server_started };
+    let response = match parsed {
+        Ok(target) => route(&target, job_tx, &ctx, &mut trace),
         Err(msg) => Response::error(400, &msg),
     };
     let ok = response.status < 400;
     let mut stream = reader.into_inner();
+    let t_write0 = now_ns();
     let _ = stream.write_all(response.to_http().as_bytes());
     let _ = stream.flush();
-    stats.record_request(elapsed_us(started), ok);
+    trace.write_us = now_ns().saturating_sub(t_write0) / 1000;
+    stats.record_request(trace.elapsed_us(), ok);
+    trace.finish(response.status);
 }
 
-fn elapsed_us(started: Instant) -> u64 {
-    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+/// Read-only state every route handler may need.
+struct RouteCtx<'a> {
+    engine: &'a Engine,
+    stats: &'a ServerStats,
+    cfg: &'a ServeConfig,
+    server_started: Instant,
 }
 
 /// Reads the request line and drains headers. Returns the request target
@@ -307,7 +397,12 @@ fn read_crlf_line(reader: &mut BufReader<TcpStream>, buf: &mut String, max: usiz
     }
 }
 
-fn route(target: &str, job_tx: &mpsc::Sender<Job>, engine: &Engine, cfg: &ServeConfig) -> Response {
+fn route(
+    target: &str,
+    job_tx: &mpsc::Sender<Job>,
+    ctx: &RouteCtx<'_>,
+    trace: &mut RequestTrace,
+) -> Response {
     let (path, query_string) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -316,30 +411,69 @@ fn route(target: &str, job_tx: &mpsc::Sender<Job>, engine: &Engine, cfg: &ServeC
         "/health" => Response::json(
             200,
             format!(
-                "{{\"status\":\"ok\",\"users\":{},\"items\":{},\"dim\":{}}}",
-                engine.num_users(),
-                engine.num_items(),
-                engine.dim()
+                "{{\"status\":\"ok\",\"users\":{},\"items\":{},\"dim\":{},\
+                 \"uptime_secs\":{},\"requests\":{},\"ready\":true}}",
+                ctx.engine.num_users(),
+                ctx.engine.num_items(),
+                ctx.engine.dim(),
+                dgnn_obs::export::json_number(ctx.server_started.elapsed().as_secs_f64()),
+                ctx.stats.requests_total(),
             ),
         ),
-        "/recommend" => recommend_route(query_string, job_tx, cfg),
+        "/recommend" => recommend_route(query_string, job_tx, ctx.cfg, trace),
+        "/metrics" => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: dgnn_obs::export::prometheus_text(
+                &dgnn_obs::shared::snapshot(),
+                &dgnn_obs::shared::hist_snapshots(),
+            ),
+        },
+        "/stats" => Response::json(
+            200,
+            dgnn_obs::export::snapshot_to_json(&dgnn_obs::shared::snapshot(), 0),
+        ),
+        "/debug/flight" => Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body: dgnn_obs::flight_dump_jsonl(),
+        },
+        "/debug/panic" if ctx.cfg.debug_panic => {
+            flight_record(FlightKind::Panic, trace.id, 0);
+            // SERVE: deliberate crash-drill injection, gated off by default
+            // (cfg.debug_panic) — exists to exercise the flight-dump path.
+            // PANICS: by design; the worker's FlightDumpOnPanic guard turns
+            // this panic into a flight-recorder dump on the way down.
+            panic!("panic injected via /debug/panic (request {})", trace.id);
+        }
         _ => Response::error(404, &format!("no route for {path:?}")),
     }
 }
 
-fn recommend_route(query_string: &str, job_tx: &mpsc::Sender<Job>, cfg: &ServeConfig) -> Response {
+fn recommend_route(
+    query_string: &str,
+    job_tx: &mpsc::Sender<Job>,
+    cfg: &ServeConfig,
+    trace: &mut RequestTrace,
+) -> Response {
     let query = match parse_query(query_string, cfg.default_k) {
         Ok(q) => q,
         Err(msg) => return Response::error(400, &msg),
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    if job_tx.send(Job { query, reply: reply_tx }).is_err() {
+    let job = Job { query, enqueued_ns: now_ns(), reply: reply_tx };
+    if job_tx.send(job).is_err() {
         return Response::error(503, "server is shutting down");
     }
     match reply_rx.recv_timeout(Duration::from_secs(30)) {
-        Ok(Ok(items)) => Response::json(200, recommendation_body(&query, &items)),
-        Ok(Err(e @ QueryError::UnknownUser { .. })) => Response::error(404, &e.to_string()),
-        Ok(Err(e @ QueryError::BadK { .. })) => Response::error(400, &e.to_string()),
+        Ok((result, phases)) => {
+            trace.phases = Some(phases);
+            match result {
+                Ok(items) => Response::json(200, recommendation_body(&query, &items)),
+                Err(e @ QueryError::UnknownUser { .. }) => Response::error(404, &e.to_string()),
+                Err(e @ QueryError::BadK { .. }) => Response::error(400, &e.to_string()),
+            }
+        }
         Err(_) => Response::error(503, "query timed out"),
     }
 }
@@ -395,22 +529,23 @@ fn recommendation_body(q: &Query, items: &[ScoredItem]) -> String {
 
 struct Response {
     status: u16,
+    content_type: &'static str,
     body: String,
 }
 
 impl Response {
     fn json(status: u16, body: String) -> Self {
-        Self { status, body }
+        Self { status, content_type: "application/json", body }
     }
 
     fn error(status: u16, message: &str) -> Self {
-        Self {
+        Self::json(
             status,
-            body: format!(
+            format!(
                 "{{\"error\":{},\"status\":{status}}}",
                 dgnn_obs::export::json_string(message)
             ),
-        }
+        )
     }
 
     fn to_http(&self) -> String {
@@ -422,9 +557,10 @@ impl Response {
             _ => "Internal Server Error",
         };
         format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             self.status,
             reason,
+            self.content_type,
             self.body.len(),
             self.body
         )

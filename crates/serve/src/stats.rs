@@ -1,27 +1,94 @@
 //! Serving-side metrics: request latencies, batch sizes, outcome counts.
 //!
-//! Worker and batcher threads record raw samples here (one mutex-guarded
-//! push per event — the mutex is uncontended at benchmark concurrency and
-//! keeps the recorder allocation-predictable). [`ServerStats::publish`]
-//! later folds the samples into the process-wide `dgnn-obs` registry *on
-//! the calling thread* (obs enablement is thread-local), emitting
+//! Worker and batcher threads record samples here (one mutex-guarded
+//! update per event — the mutex is uncontended at benchmark concurrency).
+//! Storage is **bounded** no matter how long the server runs: a
+//! [`dgnn_obs::StreamHist`] per series (constant-size bucket counts) plus
+//! a fixed-capacity reservoir of raw latency samples. While the total
+//! sample count fits the reservoir ([`RESERVOIR_CAP`]) the reservoir holds
+//! *every* sample and percentiles are exact — byte-identical to the old
+//! unbounded collector; past that the summary switches to the streaming
+//! histogram's bounded-error estimate. (The previous implementation pushed
+//! every sample into a `Vec` forever — a slow leak under sustained load.)
+//!
+//! [`ServerStats::publish`] later folds the aggregates into the
+//! process-wide `dgnn-obs` registry *on the calling thread* (obs
+//! enablement is thread-local) via [`dgnn_obs::hist_merge`], emitting
 //! histograms plus p50/p95/p99 gauges so `BENCH_serve.json` flows through
 //! the same pinned `snapshot_to_json` schema as `BENCH_profile.json`.
+//! Percentiles use the workspace definition in [`dgnn_obs::percentile`].
 
 use std::sync::Mutex;
 
+use dgnn_obs::percentile::percentile_sorted_u64;
+use dgnn_obs::StreamHist;
+
+/// Raw-latency reservoir capacity. Below this many requests percentiles
+/// are exact; above, the streaming histogram answers with bounded relative
+/// error (≤ one log2/8 bucket width, ~6%).
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// Fixed-capacity uniform sample of a `u64` stream (Vitter's algorithm R
+/// with a deterministic xorshift generator — reproducible summaries).
+#[derive(Debug)]
+struct Reservoir {
+    samples: Vec<u64>,
+    seen: u64,
+    rng: u64,
+}
+
+impl Reservoir {
+    fn new() -> Self {
+        Self { samples: Vec::with_capacity(RESERVOIR_CAP), seen: 0, rng: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn push(&mut self, v: u64) {
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(v);
+        } else {
+            let j = self.next_rand() % self.seen;
+            if (j as usize) < RESERVOIR_CAP {
+                self.samples[j as usize] = v;
+            }
+        }
+    }
+
+    /// True while the reservoir still holds every sample ever pushed.
+    fn is_exact(&self) -> bool {
+        self.seen as usize <= RESERVOIR_CAP
+    }
+}
+
 /// Shared collector for one server's lifetime.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
     inner: Mutex<Inner>,
 }
 
-#[derive(Debug, Default)]
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug)]
 struct Inner {
-    /// End-to-end request latencies, microseconds.
-    latency_us: Vec<u64>,
-    /// Number of queries coalesced per engine dispatch.
-    batch_sizes: Vec<u32>,
+    /// End-to-end request latencies, milliseconds (streaming).
+    latency_ms: StreamHist,
+    /// Raw microsecond latencies for exact small-n percentiles.
+    latency_res: Reservoir,
+    /// Queries coalesced per engine dispatch (streaming).
+    batch: StreamHist,
     ok: u64,
     err: u64,
 }
@@ -44,19 +111,28 @@ pub struct StatsSummary {
 impl ServerStats {
     /// Fresh, empty collector.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: Mutex::new(Inner {
+                latency_ms: StreamHist::new(),
+                latency_res: Reservoir::new(),
+                batch: StreamHist::new(),
+                ok: 0,
+                err: 0,
+            }),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         // A poisoned mutex only means a panicking thread held it; the
-        // sample vectors are still structurally valid, so keep serving.
+        // aggregates are still structurally valid, so keep serving.
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Records one completed request.
     pub fn record_request(&self, latency_us: u64, ok: bool) {
         let mut g = self.lock();
-        g.latency_us.push(latency_us);
+        g.latency_ms.record(latency_us as f64 / 1000.0);
+        g.latency_res.push(latency_us);
         if ok {
             g.ok += 1;
         } else {
@@ -66,51 +142,52 @@ impl ServerStats {
 
     /// Records the size of one coalesced engine dispatch.
     pub fn record_batch(&self, size: usize) {
-        self.lock().batch_sizes.push(size as u32);
+        self.lock().batch.record(size as f64);
     }
 
-    /// Summarizes everything recorded so far.
+    /// Total requests recorded so far (ok + err) — the cheap liveness
+    /// number `/health` reports.
+    pub fn requests_total(&self) -> u64 {
+        let g = self.lock();
+        g.ok + g.err
+    }
+
+    /// Summarizes everything recorded so far. Percentiles are exact while
+    /// the request count fits [`RESERVOIR_CAP`], streaming-histogram
+    /// estimates beyond that.
     pub fn summary(&self) -> StatsSummary {
         let g = self.lock();
-        let mut lat = g.latency_us.clone();
-        lat.sort_unstable();
-        let pct = |q: f64| -> f64 {
-            if lat.is_empty() {
-                return 0.0;
-            }
-            let idx = (q * (lat.len() - 1) as f64).round() as usize;
-            lat[idx.min(lat.len() - 1)] as f64 / 1000.0
-        };
-        let batches = g.batch_sizes.len() as u64;
-        let batch_size_mean = if batches == 0 {
-            0.0
+        let pct: Box<dyn Fn(f64) -> f64> = if g.latency_res.is_exact() {
+            let mut lat = g.latency_res.samples.clone();
+            lat.sort_unstable();
+            Box::new(move |q| percentile_sorted_u64(&lat, q) / 1000.0)
         } else {
-            g.batch_sizes.iter().map(|&b| f64::from(b)).sum::<f64>() / batches as f64
+            let h = g.latency_ms.clone();
+            Box::new(move |q| h.quantile(q))
         };
+        let bstat = g.batch.stat();
         StatsSummary {
             ok: g.ok,
             err: g.err,
             latency_ms: (pct(0.50), pct(0.95), pct(0.99)),
-            batch_size_mean,
-            batches,
+            batch_size_mean: bstat.mean(),
+            batches: bstat.count,
         }
     }
 
-    /// Publishes the collected samples into the thread-local `dgnn-obs`
+    /// Publishes the collected aggregates into the thread-local `dgnn-obs`
     /// registry: `serve/latency_ms` + `serve/batch_size` histograms,
     /// `serve/latency_ms_{p50,p95,p99}`, `serve/qps`, and
     /// `serve/batch_size_mean` gauges, `serve/requests_{ok,err}` counters.
     /// Call from a thread with obs enabled (enablement is thread-local).
+    /// [`dgnn_obs::hist_merge`] makes the histogram entries byte-identical
+    /// to replaying every raw sample, without retaining them.
     pub fn publish(&self, elapsed_secs: f64) -> StatsSummary {
         let s = self.summary();
         {
             let g = self.lock();
-            for &us in &g.latency_us {
-                dgnn_obs::hist_record("serve/latency_ms", us as f64 / 1000.0);
-            }
-            for &b in &g.batch_sizes {
-                dgnn_obs::hist_record("serve/batch_size", f64::from(b));
-            }
+            dgnn_obs::hist_merge("serve/latency_ms", g.latency_ms.stat());
+            dgnn_obs::hist_merge("serve/batch_size", g.batch.stat());
         }
         dgnn_obs::counter_add("serve/requests_ok", s.ok);
         dgnn_obs::counter_add("serve/requests_err", s.err);
@@ -146,11 +223,32 @@ mod tests {
         // round(0.5 * 5) = 3) is 3 ms; p99 lands on the max.
         assert!((sum.latency_ms.0 - 3.0).abs() < 1e-9, "p50 was {}", sum.latency_ms.0);
         assert!((sum.latency_ms.2 - 100.0).abs() < 1e-9);
+        assert_eq!(s.requests_total(), 6);
     }
 
     #[test]
     fn empty_stats_summary_is_zeroed() {
         assert_eq!(ServerStats::new().summary(), StatsSummary::default());
+    }
+
+    #[test]
+    fn memory_stays_bounded_past_the_reservoir() {
+        let s = ServerStats::new();
+        for i in 0..(RESERVOIR_CAP as u64 * 2) {
+            s.record_request(1000 + i % 512, true);
+        }
+        {
+            let g = s.lock();
+            assert_eq!(g.latency_res.samples.len(), RESERVOIR_CAP);
+            assert!(!g.latency_res.is_exact());
+            assert_eq!(g.latency_ms.count(), RESERVOIR_CAP as u64 * 2);
+        }
+        // Streaming estimate: every sample is in [1.0, 1.512] ms, so every
+        // percentile must land there (within one bucket width).
+        let sum = s.summary();
+        for p in [sum.latency_ms.0, sum.latency_ms.1, sum.latency_ms.2] {
+            assert!((0.9..=1.7).contains(&p), "estimate {p} escaped the sample range");
+        }
     }
 
     #[test]
@@ -167,6 +265,8 @@ mod tests {
         assert_eq!(sum.ok, 1);
         assert_eq!(snap.counters.get("serve/requests_ok"), Some(&1));
         assert!(snap.gauges.contains_key("serve/qps"));
-        assert!(snap.histograms.contains_key("serve/latency_ms"));
+        let h = &snap.histograms["serve/latency_ms"];
+        // hist_merge carries the exact aggregate: one 2 ms sample.
+        assert_eq!((h.count, h.min, h.max), (1, 2.0, 2.0));
     }
 }

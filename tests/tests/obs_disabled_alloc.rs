@@ -1,7 +1,9 @@
-//! Disabled-mode cost proofs: the observability hot path and the kernel
-//! sanitizer's dispatch path must not allocate when recording is off. A
-//! counting global allocator measures the exact number of heap
-//! allocations across a burst of disabled-mode calls.
+//! Allocation cost proofs: the observability hot path and the kernel
+//! sanitizer's dispatch path must not allocate when recording is off, and
+//! the always-on serving telemetry (flight recorder, shared registry) must
+//! not allocate even when recording is ON — its buffers are fixed at
+//! startup. A counting global allocator measures the exact number of heap
+//! allocations across a burst of calls.
 //!
 //! The counter is **per-thread**: a process-wide counter would charge the
 //! measuring test for allocations made concurrently by libtest harness
@@ -77,6 +79,40 @@ fn disabled_observability_hot_path_never_allocates() {
     assert!(dgnn_obs::take_events().is_empty());
     let snap = dgnn_obs::snapshot();
     assert!(snap.counters.is_empty() && snap.histograms.is_empty() && snap.ops.is_empty());
+}
+
+#[test]
+fn flight_recorder_and_shared_registry_steady_state_never_allocate() {
+    use dgnn_obs::{flight_record, FlightKind, FLIGHT_CAPACITY};
+
+    // Warm up outside the window: the first record initializes the ring
+    // (one fixed Vec::with_capacity), the per-thread tag TLS, and each
+    // registry handle (one Box::leak per name). Everything after that is
+    // in-place: ring slots overwrite, histogram buckets are atomics.
+    let hist = dgnn_obs::shared::hist("allocfree/h");
+    let ctr = dgnn_obs::shared::counter("allocfree/c");
+    let gauge = dgnn_obs::shared::gauge("allocfree/g");
+    flight_record(FlightKind::Mark, 0, 0);
+    hist.record(1.0);
+    ctr.add(1);
+    gauge.set(1.0);
+    let flight_before = dgnn_obs::flight_total();
+    let hist_before = hist.count();
+
+    let rounds = FLIGHT_CAPACITY as u64 * 4; // fill the ring, then overwrite
+    let before = local_allocs();
+    for i in 0..rounds {
+        flight_record(FlightKind::Mark, i, i % 7);
+        hist.record((i % 97) as f64 + 0.5);
+        ctr.add(1);
+        gauge.set(i as f64);
+    }
+    let allocs = local_allocs() - before;
+    assert_eq!(allocs, 0, "live telemetry steady state must be allocation-free");
+
+    // The window really recorded: this is the enabled path, not a no-op.
+    assert_eq!(dgnn_obs::flight_total() - flight_before, rounds);
+    assert_eq!(hist.count() - hist_before, rounds);
 }
 
 #[test]
