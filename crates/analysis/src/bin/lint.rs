@@ -36,8 +36,9 @@
 //!    adjacent `// SAFETY:` comment whose justification text is at least
 //!    20 characters (marker-only or token justifications don't count; the
 //!    comment must actually argue the invariant).
-//! 12. partition-contract: any `par_row_chunks(` / `run_parts(` call site
-//!    outside the kernel modules that own them
+//! 12. partition-contract: any `par_row_chunks(` /
+//!    `par_row_chunks_scratch(` / `run_parts(` call site outside the
+//!    kernel modules that own them
 //!    (`tensor/src/{parallel,dense,sparse,topk}.rs`) needs a nearby
 //!    `// CONTRACT: <kernel>` tag naming a contract registered in
 //!    `dgnn_analysis::race_checker` — a parallel dispatch with no
@@ -50,6 +51,11 @@
 //!    sanitizes names on the way out, so two sloppy spellings would merge
 //!    into one exported series; keeping registry names canonical at the
 //!    call site makes `/metrics` ↔ registry lookups one-to-one.
+//! 14. simd-justification: `std::arch` / `core::arch` intrinsics outside
+//!    the packed-GEMM kernel module (`crates/tensor/src/gemm/`) need a
+//!    nearby `// SIMD:` comment — hand-rolled SIMD scattered through the
+//!    codebase bypasses the backend-selection, feature-detection, and
+//!    determinism contracts the GEMM subsystem centralizes.
 //!
 //! `target/` and `third_party/` directories are never scanned.
 //!
@@ -96,7 +102,10 @@ struct Needles {
     rewrite_plan: String,
     rewrite_action: String,
     par_chunks: String,
+    par_chunks_scratch: String,
     run_parts: String,
+    std_arch: String,
+    core_arch: String,
     hist_record: String,
     gauge_set: String,
     counter_add: String,
@@ -119,7 +128,10 @@ impl Needles {
             rewrite_plan: format!("RewritePlan::n{}(", "ew"),
             rewrite_action: format!("RewriteAction{}", "::"),
             par_chunks: format!("par_row_chu{}(", "nks"),
+            par_chunks_scratch: format!("par_row_chunks_scra{}(", "tch"),
             run_parts: format!("run_pa{}(", "rts"),
+            std_arch: format!("std::a{}", "rch"),
+            core_arch: format!("core::a{}", "rch"),
             hist_record: format!("hist_rec{}(", "ord"),
             gauge_set: format!("gauge_s{}(", "et"),
             counter_add: format!("counter_a{}(", "dd"),
@@ -427,6 +439,17 @@ fn lint_file(
     ]
     .iter()
     .any(|tail| file.ends_with(Path::new(tail)));
+    // Rule 14 exempts the packed-GEMM kernel module, the one place that
+    // owns raw SIMD: its microkernels sit behind runtime feature detection
+    // and the backend-selection/determinism contracts.
+    let simd_scope = {
+        let marker: PathBuf = ["crates", "tensor", "src", "gemm"].iter().collect();
+        !file
+            .components()
+            .collect::<Vec<_>>()
+            .windows(4)
+            .any(|w| w.iter().map(|c| c.as_os_str()).eq(marker.iter()))
+    };
     // Rule 9 applies to the serving tier, which must fail soft: request
     // handling answers bad input with 4xx/5xx JSON, never a panic.
     let serve_scope = {
@@ -623,8 +646,25 @@ fn lint_file(
                 detail: "unsafe without a nearby // SAFETY: comment".to_string(),
             });
         }
+        if simd_scope
+            && (code.contains(needles.std_arch.as_str())
+                || code.contains(needles.core_arch.as_str()))
+            && !has_marker(&lines, i, "SIMD:")
+        {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "simd-justification",
+                detail: "raw std::arch/core::arch intrinsics outside \
+                         crates/tensor/src/gemm/ without a nearby // SIMD: \
+                         comment; SIMD belongs behind the GEMM subsystem's \
+                         feature detection and determinism contracts"
+                    .to_string(),
+            });
+        }
         if contract_scope
             && (code.contains(needles.par_chunks.as_str())
+                || code.contains(needles.par_chunks_scratch.as_str())
                 || code.contains(needles.run_parts.as_str()))
         {
             match contract_marker_name(&lines, i) {
@@ -906,6 +946,64 @@ mod tests {
         // The kernel modules that own pool dispatch are exempt.
         violations.clear();
         lint_file(Path::new("crates/tensor/src/dense.rs"), &text, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_dispatch_needs_a_contract_tag_too() {
+        let needles = Needles::new();
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        let text = format!(
+            "dgnn_tensor::parallel::{}args);\n",
+            needles.par_chunks_scratch
+        );
+
+        // Untagged scratch dispatch outside the kernel modules fires.
+        lint_file(Path::new("crates/core/src/model.rs"), &text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1, "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert_eq!(violations[0].rule, "partition-contract");
+
+        // A registered packed-GEMM contract name justifies it.
+        violations.clear();
+        let tagged = format!("// CONTRACT: gemm_nn_packed\n{text}");
+        lint_file(Path::new("crates/core/src/model.rs"), &tagged, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // dense.rs owns its dispatches.
+        violations.clear();
+        lint_file(Path::new("crates/tensor/src/dense.rs"), &text, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn simd_rule_exempts_the_gemm_module() {
+        let needles = Needles::new();
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        let text = format!("use std::{}::x86_64::_mm256_setzero_ps;\n", &needles.std_arch[5..]);
+
+        // Raw intrinsics outside the GEMM module fire.
+        lint_file(Path::new("crates/core/src/model.rs"), &text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1, "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert_eq!(violations[0].rule, "simd-justification");
+
+        // core::arch is covered by the same rule.
+        violations.clear();
+        let core_text = format!("use core::{}::aarch64::vfmaq_f32;\n", &needles.core_arch[6..]);
+        lint_file(Path::new("crates/obs/src/lib.rs"), &core_text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "simd-justification");
+
+        // A SIMD: marker within the window justifies one elsewhere.
+        violations.clear();
+        let justified = format!("// SIMD: CPU-feature probe only, no data path\n{text}");
+        lint_file(Path::new("crates/core/src/model.rs"), &justified, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // The GEMM kernel module owns raw SIMD.
+        violations.clear();
+        lint_file(Path::new("crates/tensor/src/gemm/avx2.rs"), &text, &needles, &mut violations, &mut todos);
         assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
     }
 

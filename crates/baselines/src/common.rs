@@ -207,11 +207,12 @@ impl Scorer {
             !self.user.is_empty(),
             "{model_name}::score called before fit"
         );
-        let u = self.user.row(user);
-        items
-            .iter()
-            .map(|&v| self.item.row(v).iter().zip(u).map(|(&a, &b)| a * b).sum())
-            .collect()
+        // Routed through the GEMM entry points (not a hand-rolled dot
+        // loop) so the fold order matches the serving engine's on every
+        // `DGNN_GEMM` backend: a checkpointed model must serve these
+        // exact bits.
+        let u = self.user.gather_rows(&[user]);
+        u.matmul_nt(&self.item.gather_rows(items)).as_slice().to_vec()
     }
 
     #[cfg(test)]

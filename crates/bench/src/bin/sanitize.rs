@@ -19,6 +19,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use dgnn_analysis::race_checker::{check_dispatches, contract_names, RaceReport};
+use dgnn_tensor::gemm;
 use dgnn_tensor::parallel;
 use dgnn_tensor::sanitize;
 use dgnn_tensor::{top_k_rows, Csr, CsrBuilder, Matrix};
@@ -55,7 +56,19 @@ fn csr(rows: usize, cols: usize, seed: u64) -> Csr {
 /// Drives every kernel in the race checker's contract table through the
 /// public API at sizes that fan out across the pool. Mirrors the
 /// integration battery in `tests/tests/race_sanitizer.rs` at bench scale.
+///
+/// Runs twice — legacy scalar backend (historical kernel names) and the
+/// packed Generic backend (`gemm_*_packed` dispatches) — so every entry in
+/// the contract table is exercised regardless of host SIMD support.
 fn run_kernel_battery(scale: usize) {
+    gemm::set_backend(Some(gemm::Backend::Scalar));
+    run_backend_battery(scale);
+    gemm::set_backend(Some(gemm::Backend::Generic));
+    run_backend_battery(scale);
+    gemm::set_backend(None);
+}
+
+fn run_backend_battery(scale: usize) {
     let (r, k) = (8 * scale, 4 * scale);
     let a = mat(r, k, 1);
     let b = mat(k, r, 2);
@@ -89,6 +102,7 @@ fn run_kernel_battery(scale: usize) {
     let _ = a.mul_row_fused(&row);
     let _ = a.mul_col_fused(&col);
     let _ = a.gather_matmul(&idx, &b);
+    let _ = a.gather_matmul_nt(&idx, &g);
     let _ = a.gather_rows(&idx);
     let mut sc = Matrix::zeros(r, k);
     sc.scatter_add_rows(&idx, &a);

@@ -530,11 +530,12 @@ impl Recommender for Dgnn {
 
     fn score(&self, user: usize, items: &[usize]) -> Vec<f32> {
         assert!(!self.user_scoring.is_empty(), "Dgnn::score called before fit");
-        let u = self.user_scoring.row(user);
-        items
-            .iter()
-            .map(|&v| self.item_final.row(v).iter().zip(u).map(|(&a, &b)| a * b).sum())
-            .collect()
+        // Routed through the GEMM entry points (not a hand-rolled dot
+        // loop) so the fold order matches the serving engine's on every
+        // `DGNN_GEMM` backend: a checkpointed model must serve these
+        // exact bits.
+        let u = self.user_scoring.gather_rows(&[user]);
+        u.matmul_nt(&self.item_final.gather_rows(items)).as_slice().to_vec()
     }
 }
 

@@ -37,6 +37,8 @@ pub fn thread_cpu_ns() -> Option<u64> {
     // buffer, and the asm clobbers only rax/rcx/r11 as the x86_64 syscall
     // ABI specifies. No Rust memory is otherwise touched.
     unsafe {
+        // SIMD: inline asm for a raw syscall, not data-path vector code —
+        // the GEMM subsystem's SIMD contracts do not apply here.
         core::arch::asm!(
             "syscall",
             inlateout("rax") SYS_CLOCK_GETTIME => ret,

@@ -213,7 +213,7 @@ impl Engine {
         let users: Vec<usize> = valid.iter().map(|&i| queries[i].user as usize).collect();
         let telemetry = crate::trace::telemetry();
         let t0 = dgnn_obs::now_ns();
-        let mut scores = self.user.gather_rows(&users).matmul_nt(&self.item);
+        let mut scores = self.user.gather_matmul_nt(&users, &self.item);
         for (row, &i) in valid.iter().enumerate() {
             if queries[i].exclude_seen {
                 let r = scores.row_mut(row);

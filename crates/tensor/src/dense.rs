@@ -3,8 +3,8 @@
 use std::fmt;
 use std::ops::{Index, IndexMut, Range};
 
-use crate::sanitize::{Access, OUT};
-use crate::{parallel, pool};
+use crate::sanitize::{Access, OUT, SCRATCH};
+use crate::{gemm, parallel, pool};
 
 /// A row-major dense matrix of `f32`.
 ///
@@ -174,17 +174,56 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Row-partitioned over the kernel pool; each partition runs the
-    /// cache-blocked i-k-j microkernel [`matmul_rows`], which accumulates
-    /// every output element over `k` ascending — the same per-element
-    /// reduction order for any partitioning, so the result is bit-identical
-    /// to serial execution.
+    /// Routed through the packed GEMM subsystem ([`crate::gemm`]): B is
+    /// packed once on the dispatching thread, each pool partition packs
+    /// its own A rows into a private scratch region and runs the selected
+    /// microkernel. Every output element accumulates over `k` ascending in
+    /// a fixed register lane — the same per-element reduction order for
+    /// any partitioning, so the result is bit-identical to serial
+    /// execution. `DGNN_GEMM=scalar` selects the legacy cache-blocked
+    /// i-k-j loops instead (historical bit-exact numerics).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} · {}x{} shape mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let be = gemm::backend();
+        gemm::count_call(be.is_packed(), self.rows, rhs.cols, self.cols);
+        if !be.is_packed() {
+            return self.matmul_legacy(rhs);
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        // The tile loop overwrites every element, so the output buffer
+        // needs no zeroing.
+        let mut out = Matrix { rows: m, cols: n, data: pool::alloc_overwritten(m * n) };
+        let mut pb = pool::alloc_overwritten(gemm::packed_b_len(k, n));
+        gemm::pack_b(&rhs.data, k, n, &mut pb);
+        let work = k.saturating_mul(n);
+        let (cap, mut scratch) = packed_a_scratch(m, n, work, k);
+        let a = &self.data;
+        let (pbr, pb_len) = (&pb[..], pb.len());
+        let reads = |p: usize, r: &Range<usize>| {
+            let used = gemm::packed_a_len(r.len(), k);
+            vec![
+                Access::read(0, r.start * k..r.end * k),
+                Access::read(1, 0..pb_len),
+                Access::write(SCRATCH, p * cap..p * cap + used),
+                Access::read(SCRATCH, p * cap..p * cap + used),
+            ]
+        };
+        parallel::par_row_chunks_scratch("gemm_nn_packed", &mut out.data, m, n, work, &mut scratch, reads, |rows, chunk, scr| {
+            gemm::pack_a(a, k, &rows, scr);
+            gemm::tile_loop(be, scr, pbr, k, n, rows.len(), chunk, false);
+        });
+        pool::recycle_vec(scratch);
+        pool::recycle_vec(pb);
+        out
+    }
+
+    /// The pre-packing scalar `matmul`: cache-blocked i-k-j loops
+    /// ([`matmul_rows`]) under the legacy `matmul` partition contract.
+    fn matmul_legacy(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let (k, n) = (self.cols, rhs.cols);
         let a = &self.data;
@@ -210,13 +249,48 @@ impl Matrix {
             "matmul_tn: {}x{}ᵀ · {}x{} shape mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let be = gemm::backend();
+        gemm::count_call(be.is_packed(), self.cols, rhs.cols, self.rows);
+        if !be.is_packed() {
+            return self.matmul_tn_legacy(rhs);
+        }
+        let (m, c, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix { rows: c, cols: n, data: pool::alloc_overwritten(c * n) };
+        let mut pb = pool::alloc_overwritten(gemm::packed_b_len(m, n));
+        gemm::pack_b(&rhs.data, m, n, &mut pb);
+        let work = m.saturating_mul(n);
+        // The reduction dimension here is `m` (rows of `self`).
+        let (cap, mut scratch) = packed_a_scratch(c, n, work, m);
+        let a = &self.data;
+        let (pbr, pb_len) = (&pb[..], pb.len());
+        // Each partition reads a *column* band of `self`: elements
+        // `k*c + i` for its output rows `i` — a strided span, not a
+        // contiguous one (declaring the whole of `a` would be over-broad).
+        let reads = |p: usize, r: &Range<usize>| {
+            let used = gemm::packed_a_len(r.len(), m);
+            vec![
+                Access::read_strided(0, r.start, r.len(), c, if r.is_empty() { 0 } else { m }),
+                Access::read(1, 0..pb_len),
+                Access::write(SCRATCH, p * cap..p * cap + used),
+                Access::read(SCRATCH, p * cap..p * cap + used),
+            ]
+        };
+        parallel::par_row_chunks_scratch("gemm_tn_packed", &mut out.data, c, n, work, &mut scratch, reads, |rows, chunk, scr| {
+            gemm::pack_at(a, m, c, &rows, scr);
+            gemm::tile_loop(be, scr, pbr, m, n, rows.len(), chunk, false);
+        });
+        pool::recycle_vec(scratch);
+        pool::recycle_vec(pb);
+        out
+    }
+
+    /// The pre-packing scalar `matmul_tn`: serial-order k-i-j loops
+    /// ([`matmul_tn_rows`]) under the legacy `matmul_tn` contract.
+    fn matmul_tn_legacy(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         let (m, c, n) = (self.rows, self.cols, rhs.cols);
         let a = &self.data;
         let b = &rhs.data;
-        // Each partition reads a *column* band of `self`: elements
-        // `k*c + i` for its output rows `i` — a strided span, not a
-        // contiguous one (declaring the whole of `a` would be over-broad).
         let reads = |r: &Range<usize>| {
             vec![
                 Access::read_strided(0, r.start, r.len(), c, if r.is_empty() { 0 } else { m }),
@@ -238,6 +312,40 @@ impl Matrix {
             "matmul_nt: {}x{} · {}x{}ᵀ shape mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let be = gemm::backend();
+        gemm::count_call(be.is_packed(), self.rows, rhs.rows, self.cols);
+        if !be.is_packed() {
+            return self.matmul_nt_legacy(rhs);
+        }
+        let (m, k, jn) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix { rows: m, cols: jn, data: pool::alloc_overwritten(m * jn) };
+        let mut pb = pool::alloc_overwritten(gemm::packed_b_len(k, jn));
+        gemm::pack_bt(&rhs.data, jn, k, &mut pb);
+        let work = k.saturating_mul(jn);
+        let (cap, mut scratch) = packed_a_scratch(m, jn, work, k);
+        let a = &self.data;
+        let (pbr, pb_len) = (&pb[..], pb.len());
+        let reads = |p: usize, r: &Range<usize>| {
+            let used = gemm::packed_a_len(r.len(), k);
+            vec![
+                Access::read(0, r.start * k..r.end * k),
+                Access::read(1, 0..pb_len),
+                Access::write(SCRATCH, p * cap..p * cap + used),
+                Access::read(SCRATCH, p * cap..p * cap + used),
+            ]
+        };
+        parallel::par_row_chunks_scratch("gemm_nt_packed", &mut out.data, m, jn, work, &mut scratch, reads, |rows, chunk, scr| {
+            gemm::pack_a(a, k, &rows, scr);
+            gemm::tile_loop(be, scr, pbr, k, jn, rows.len(), chunk, false);
+        });
+        pool::recycle_vec(scratch);
+        pool::recycle_vec(pb);
+        out
+    }
+
+    /// The pre-packing scalar `matmul_nt`: per-row dot products
+    /// ([`matmul_nt_rows`]) under the legacy `matmul_nt` contract.
+    fn matmul_nt_legacy(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         let (k, jn) = (self.cols, rhs.rows);
         let a = &self.data;
@@ -548,6 +656,39 @@ impl Matrix {
             g.rows,
             rhs.rows
         );
+        let be = gemm::backend();
+        gemm::count_call(be.is_packed(), g.rows, rhs.rows, g.cols);
+        if !be.is_packed() {
+            return self.matmul_nt_acc_legacy(g, rhs);
+        }
+        let (m, k, jn) = (g.rows, g.cols, rhs.rows);
+        let mut pb = pool::alloc_overwritten(gemm::packed_b_len(k, jn));
+        gemm::pack_bt(&rhs.data, jn, k, &mut pb);
+        let work = k.saturating_mul(jn);
+        let (cap, mut scratch) = packed_a_scratch(m, jn, work, k);
+        let a = &g.data;
+        let (pbr, pb_len) = (&pb[..], pb.len());
+        let reads = |p: usize, r: &Range<usize>| {
+            let used = gemm::packed_a_len(r.len(), k);
+            vec![
+                Access::read(OUT, r.start * jn..r.end * jn),
+                Access::read(0, r.start * k..r.end * k),
+                Access::read(1, 0..pb_len),
+                Access::write(SCRATCH, p * cap..p * cap + used),
+                Access::read(SCRATCH, p * cap..p * cap + used),
+            ]
+        };
+        parallel::par_row_chunks_scratch("gemm_nt_acc_packed", &mut self.data, m, jn, work, &mut scratch, reads, |rows, chunk, scr| {
+            gemm::pack_a(a, k, &rows, scr);
+            gemm::tile_loop(be, scr, pbr, k, jn, rows.len(), chunk, true);
+        });
+        pool::recycle_vec(scratch);
+        pool::recycle_vec(pb);
+    }
+
+    /// The pre-packing scalar `matmul_nt_acc`: fused dot-then-add loops
+    /// under the legacy `matmul_nt_acc` contract.
+    fn matmul_nt_acc_legacy(&mut self, g: &Matrix, rhs: &Matrix) {
         let (k, jn) = (g.cols, rhs.rows);
         let a = &g.data;
         let b = &rhs.data;
@@ -587,12 +728,47 @@ impl Matrix {
         for &r in idx {
             assert!(r < self.rows, "gather_matmul: index {r} out of bounds ({} rows)", self.rows);
         }
+        let be = gemm::backend();
+        gemm::count_call(be.is_packed(), idx.len(), rhs.cols, self.cols);
+        if !be.is_packed() {
+            return self.gather_matmul_legacy(idx, rhs);
+        }
+        let (k, n) = (self.cols, rhs.cols);
+        let m = idx.len();
+        let mut out = Matrix { rows: m, cols: n, data: pool::alloc_overwritten(m * n) };
+        let mut pb = pool::alloc_overwritten(gemm::packed_b_len(k, n));
+        gemm::pack_b(&rhs.data, k, n, &mut pb);
+        let work = k.saturating_mul(n);
+        let (cap, mut scratch) = packed_a_scratch(m, n, work, k);
+        let a = &self.data;
+        let (pbr, pb_len) = (&pb[..], pb.len());
+        // Gathered rows are data-dependent, so the table read is honestly
+        // whole-buffer; the index list itself is read per-partition.
+        let reads = |p: usize, r: &Range<usize>| {
+            let used = gemm::packed_a_len(r.len(), k);
+            vec![
+                Access::read(0, 0..a.len()),
+                Access::read(1, 0..pb_len),
+                Access::read(2, r.clone()),
+                Access::write(SCRATCH, p * cap..p * cap + used),
+                Access::read(SCRATCH, p * cap..p * cap + used),
+            ]
+        };
+        parallel::par_row_chunks_scratch("gemm_gather_nn_packed", &mut out.data, m, n, work, &mut scratch, reads, |rows, chunk, scr| {
+            gemm::pack_a_gathered(a, idx, k, &rows, scr);
+            gemm::tile_loop(be, scr, pbr, k, n, rows.len(), chunk, false);
+        });
+        pool::recycle_vec(scratch);
+        pool::recycle_vec(pb);
+        out
+    }
+
+    /// The pre-packing scalar `gather_matmul` under the legacy contract.
+    fn gather_matmul_legacy(&self, idx: &[usize], rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), rhs.cols);
         let (k, n) = (self.cols, rhs.cols);
         let a = &self.data;
         let b = &rhs.data;
-        // Gathered rows are data-dependent, so the table read is honestly
-        // whole-buffer; the index list itself is read per-partition.
         let reads = |r: &Range<usize>| {
             vec![
                 Access::read(0, 0..a.len()),
@@ -603,6 +779,55 @@ impl Matrix {
         parallel::par_row_chunks("gather_matmul", &mut out.data, idx.len(), n, k.saturating_mul(n), reads, |rows, chunk| {
             matmul_gathered_rows(a, b, idx, k, n, &rows, chunk);
         });
+        out
+    }
+
+    /// Fused `gather(self, idx) · rhsᵀ` without materializing the gathered
+    /// matrix: output row `i` is `self.row(idx[i]) · rhsᵀ`. On a packed
+    /// backend the gathered rows are packed straight from the table into
+    /// per-partition A panels; on the scalar backend this delegates to
+    /// `gather_rows(idx).matmul_nt(rhs)` (which it is bit-identical to on
+    /// every backend).
+    pub fn gather_matmul_nt(&self, idx: &[usize], rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "gather_matmul_nt: {}x{} · {}x{}ᵀ shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        for &r in idx {
+            assert!(r < self.rows, "gather_matmul_nt: index {r} out of bounds ({} rows)", self.rows);
+        }
+        let be = gemm::backend();
+        if !be.is_packed() {
+            // `matmul_nt` records its own call counters — no count here.
+            return self.gather_rows(idx).matmul_nt(rhs);
+        }
+        gemm::count_call(true, idx.len(), rhs.rows, self.cols);
+        let (k, jn) = (self.cols, rhs.rows);
+        let m = idx.len();
+        let mut out = Matrix { rows: m, cols: jn, data: pool::alloc_overwritten(m * jn) };
+        let mut pb = pool::alloc_overwritten(gemm::packed_b_len(k, jn));
+        gemm::pack_bt(&rhs.data, jn, k, &mut pb);
+        let work = k.saturating_mul(jn);
+        let (cap, mut scratch) = packed_a_scratch(m, jn, work, k);
+        let a = &self.data;
+        let (pbr, pb_len) = (&pb[..], pb.len());
+        let reads = |p: usize, r: &Range<usize>| {
+            let used = gemm::packed_a_len(r.len(), k);
+            vec![
+                Access::read(0, 0..a.len()),
+                Access::read(1, 0..pb_len),
+                Access::read(2, r.clone()),
+                Access::write(SCRATCH, p * cap..p * cap + used),
+                Access::read(SCRATCH, p * cap..p * cap + used),
+            ]
+        };
+        parallel::par_row_chunks_scratch("gemm_gather_nt_packed", &mut out.data, m, jn, work, &mut scratch, reads, |rows, chunk, scr| {
+            gemm::pack_a_gathered(a, idx, k, &rows, scr);
+            gemm::tile_loop(be, scr, pbr, k, jn, rows.len(), chunk, false);
+        });
+        pool::recycle_vec(scratch);
+        pool::recycle_vec(pb);
         out
     }
 
@@ -903,6 +1128,19 @@ impl Matrix {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+}
+
+/// Sizes the dispatcher-side A-panel scratch for a packed GEMM over `rows`
+/// output rows of width `cols` with reduction length `k`: one
+/// `packed_a_len(max_span, k)`-float region per planned partition, where
+/// `max_span = rows.div_ceil(parts)` bounds any [`parallel::part_range`]
+/// span. Uses the same [`parallel::planned_row_parts`] plan the dispatch
+/// itself will compute, so the region count can never disagree. Returns
+/// `(per-partition capacity, scratch buffer)`.
+fn packed_a_scratch(rows: usize, cols: usize, work_per_row: usize, k: usize) -> (usize, Vec<f32>) {
+    let parts = parallel::planned_row_parts(rows, cols, work_per_row);
+    let cap = gemm::packed_a_len(rows.div_ceil(parts), k);
+    (cap, pool::alloc_overwritten(parts * cap))
 }
 
 /// Cache-blocked i-k-j GEMM microkernel over one span of output rows.

@@ -1,0 +1,84 @@
+//! AVX2/FMA 8×8 f32 microkernel over packed panels.
+//!
+//! The register tile is one `ymm` accumulator per row (8 column lanes), so
+//! output element `(i, j)` is lane `j` of `acc[i]` for the entire `k`
+//! loop: a pure chain of `vfmadd` operations from `0.0` in ascending `kk`
+//! order. That fixed per-lane fold is the whole determinism argument —
+//! nothing about partitioning, panel position, or thread count can reach
+//! the arithmetic.
+
+#[cfg(target_arch = "x86")]
+use std::arch::x86 as arch;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64 as arch;
+
+use arch::{
+    __m256, _mm256_add_ps, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps,
+    _mm256_setzero_ps, _mm256_storeu_ps,
+};
+
+/// Computes one `8 × 8` register tile over packed panels `pa` (column-major
+/// `8 × k` A panel) and `pb` (row-major `k × 8` B panel), then stores the
+/// top-left `rows × cols` corner to `c` with row stride `rsc` — overwriting
+/// when `acc` is false, adding one `+` per element when true.
+///
+/// # Safety
+/// Caller must guarantee: the CPU supports `avx2` and `fma` (the dispatch
+/// in [`super::tile_loop`] checks via `is_x86_feature_detected!`); `pa` and
+/// `pb` point to at least `8 * k` readable floats each; and for every
+/// `i < rows`, `j < cols`, the address `c + i*rsc + j` is writable —
+/// i.e. `c` covers the partition's output chunk with `rows <= 8`,
+/// `cols <= min(8, rsc)`.
+// SAFETY: the `# Safety` contract above is the full argument — feature
+// availability is established by the dispatcher's runtime detection, and
+// the panel/output pointers are in-bounds by the tile geometry.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn kernel_8x8(
+    k: usize,
+    pa: *const f32,
+    pb: *const f32,
+    c: *mut f32,
+    rsc: usize,
+    rows: usize,
+    cols: usize,
+    acc: bool,
+) {
+    // SAFETY: delegated to the caller contract above — every pointer
+    // arithmetic below stays inside the `8*k` panels and the `rows×cols`
+    // corner of `c`, and the target features are verified before dispatch.
+    unsafe {
+        let mut t: [__m256; 8] = [_mm256_setzero_ps(); 8];
+        for kk in 0..k {
+            let b = _mm256_loadu_ps(pb.add(kk * 8));
+            let a = pa.add(kk * 8);
+            // Fully unrolled by the fixed bound: 8 broadcasts + 8 fmadds
+            // per kk, one accumulator register per output row.
+            for (i, ti) in t.iter_mut().enumerate() {
+                let ai = _mm256_broadcast_ss(&*a.add(i));
+                *ti = _mm256_fmadd_ps(ai, b, *ti);
+            }
+        }
+        for (i, ti) in t.iter().enumerate().take(rows) {
+            let row = c.add(i * rsc);
+            if cols == 8 {
+                if acc {
+                    // One rounded `+` per element after the register fold:
+                    // bit-identical to temp-then-add_assign.
+                    _mm256_storeu_ps(row, _mm256_add_ps(_mm256_loadu_ps(row), *ti));
+                } else {
+                    _mm256_storeu_ps(row, *ti);
+                }
+            } else {
+                let mut tmp = [0.0f32; 8];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), *ti);
+                for (j, &v) in tmp.iter().enumerate().take(cols) {
+                    if acc {
+                        *row.add(j) += v;
+                    } else {
+                        *row.add(j) = v;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Packed-panel GEMM subsystem with runtime-dispatched SIMD microkernels.
+//!
+//! Every dense matmul entry point in [`crate::Matrix`] (`matmul`,
+//! `matmul_tn`, `matmul_nt`, `matmul_nt_acc`, the gathered variants) routes
+//! through this module unless the legacy scalar backend is selected. The
+//! design is the classic two-level packing scheme (tract / BLIS style):
+//!
+//! * **A panels** — the left operand's rows are packed into `MR`-row
+//!   panels laid out column-major *within* the panel: for each inner index
+//!   `kk`, the panel stores the `MR` row values contiguously. Rows past the
+//!   end of the operand (edge panels) are zero-filled. Packing happens
+//!   *per partition* into a dispatcher-provided scratch region, so pool
+//!   workers never allocate and the scratch writes are provably disjoint.
+//! * **B panels** — the right operand's columns are packed into `NR`-column
+//!   panels laid out row-major within the panel: for each `kk`, the `NR`
+//!   column values are contiguous. Edge panels zero-fill the missing
+//!   columns. B is packed once on the dispatching thread and shared
+//!   read-only by every partition.
+//! * **Microkernel** — an `MR × NR` register tile accumulates over the full
+//!   `k` extent in one pass. Each output element `(i, j)` lives in a fixed
+//!   register lane for the whole loop and is a fold over ascending `kk` of
+//!   single-rounding operations starting from `0.0` — the accumulation
+//!   order depends on neither the panel index, the partition boundaries,
+//!   nor the thread count, so parallel results are bit-identical to serial
+//!   for every backend. Zero-padded panel lanes contribute exact zeros and
+//!   are masked away at store time.
+//!
+//! Backends:
+//!
+//! * [`Backend::Avx2`] — AVX2/FMA 8×8 kernel ([`avx2`]), selected when the
+//!   CPU reports both features at runtime.
+//! * [`Backend::Neon`] — aarch64 NEON 8×8 kernel ([`neon`]).
+//! * [`Backend::Generic`] — portable unrolled scalar 8×8 kernel on the
+//!   same packed layout ([`generic`]); the always-available packed
+//!   fallback.
+//! * [`Backend::Scalar`] — the legacy cache-blocked scalar loops in
+//!   `dense.rs`, bypassing packing entirely. This is the historical
+//!   kernel, bit-for-bit: forcing `DGNN_GEMM=scalar` reproduces exactly
+//!   the numbers the repo produced before this module existed.
+//!
+//! Selection happens once per process from the `DGNN_GEMM` environment
+//! variable (`auto` | `avx2` | `neon` | `generic` | `scalar`); benches and
+//! tests can override per-thread with [`set_backend`], mirroring the
+//! thread-local knobs in [`crate::parallel`]. SIMD backends requested on
+//! hardware that lacks them degrade to [`Backend::Generic`] with a
+//! one-time warning rather than aborting.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+pub(crate) mod avx2;
+pub(crate) mod generic;
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+
+/// Rows per packed A panel (microkernel tile height).
+pub const MR: usize = 8;
+/// Columns per packed B panel (microkernel tile width).
+pub const NR: usize = 8;
+
+/// Which GEMM implementation executes the routed matmul entry points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Packed panels + AVX2/FMA 8×8 microkernel (x86/x86_64 with runtime
+    /// `avx2` + `fma` detection).
+    Avx2,
+    /// Packed panels + NEON 8×8 microkernel (aarch64).
+    Neon,
+    /// Packed panels + portable unrolled scalar 8×8 microkernel.
+    Generic,
+    /// Legacy cache-blocked scalar loops; no packing, historical
+    /// bit-exact numerics, legacy kernel names in the sanitizer log.
+    Scalar,
+}
+
+impl Backend {
+    /// Stable lowercase name, as accepted by `DGNN_GEMM` and exported by
+    /// the profile bench's `gemm/kernel` gauge.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+            Backend::Generic => "generic",
+            Backend::Scalar => "scalar",
+        }
+    }
+
+    /// True when this backend runs the packed-panel pipeline (everything
+    /// except the legacy scalar loops).
+    pub fn is_packed(self) -> bool {
+        !matches!(self, Backend::Scalar)
+    }
+}
+
+/// Best packed backend the running CPU supports.
+fn detect() -> Backend {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Backend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Backend::Neon;
+        }
+    }
+    Backend::Generic
+}
+
+/// True when `b` can actually execute on this CPU.
+fn available(b: Backend) -> bool {
+    match b {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Backend::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+        Backend::Generic | Backend::Scalar => true,
+        #[allow(unreachable_patterns)] // arms above are cfg-gated per arch
+        _ => false,
+    }
+}
+
+/// Process-wide default, resolved once from `DGNN_GEMM` + feature
+/// detection.
+fn env_default() -> Backend {
+    static DEFAULT: OnceLock<Backend> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let raw = std::env::var("DGNN_GEMM").unwrap_or_default();
+        let want = match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => return detect(),
+            "avx2" => Backend::Avx2,
+            "neon" => Backend::Neon,
+            "generic" | "packed" => Backend::Generic,
+            "scalar" => Backend::Scalar,
+            other => {
+                eprintln!("DGNN_GEMM={other:?} is not auto|avx2|neon|generic|scalar; using auto");
+                return detect();
+            }
+        };
+        if available(want) {
+            want
+        } else {
+            eprintln!(
+                "DGNN_GEMM={} requested but this CPU does not support it; using generic",
+                want.name()
+            );
+            Backend::Generic
+        }
+    })
+}
+
+thread_local! {
+    /// Per-thread override used by benches/tests; `None` defers to the
+    /// process-wide `DGNN_GEMM` default.
+    static OVERRIDE: std::cell::Cell<Option<Backend>> = const { std::cell::Cell::new(None) };
+}
+
+/// The backend the current thread's matmul dispatches will use. Workers of
+/// the kernel pool never call this: the dispatching thread resolves the
+/// backend once and captures it in the partition closure.
+pub fn backend() -> Backend {
+    OVERRIDE.with(|o| o.get()).unwrap_or_else(env_default)
+}
+
+/// Overrides the backend for the current thread (`None` restores the
+/// `DGNN_GEMM` default). Unavailable SIMD backends degrade to
+/// [`Backend::Generic`] exactly as the env path does, so a forced setting
+/// can never dispatch an illegal instruction.
+pub fn set_backend(b: Option<Backend>) {
+    let checked = b.map(|want| if available(want) { want } else { Backend::Generic });
+    OVERRIDE.with(|o| o.set(checked));
+}
+
+/// Per-thread counters over the routed GEMM entry points, giving benches a
+/// uniform view of *all* matmul work — including fused paths like
+/// `matmul_nt_acc` that older accounting lumped into backward rule totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GemmCounters {
+    /// Calls routed through the packed pipeline.
+    pub packed_calls: u64,
+    /// Calls served by the legacy scalar loops.
+    pub scalar_calls: u64,
+    /// Multiply–accumulate count (`m·n·k` per call), both pipelines.
+    pub macs: u64,
+}
+
+thread_local! {
+    static COUNTERS: std::cell::Cell<GemmCounters> = const {
+        std::cell::Cell::new(GemmCounters { packed_calls: 0, scalar_calls: 0, macs: 0 })
+    };
+}
+
+/// Records one routed GEMM call on the dispatching thread.
+pub(crate) fn count_call(packed: bool, m: usize, n: usize, k: usize) {
+    COUNTERS.with(|c| {
+        let mut v = c.get();
+        if packed {
+            v.packed_calls += 1;
+        } else {
+            v.scalar_calls += 1;
+        }
+        v.macs = v.macs.saturating_add((m as u64).saturating_mul(n as u64).saturating_mul(k as u64));
+        c.set(v);
+    });
+}
+
+/// Snapshot of this thread's GEMM counters.
+pub fn counters() -> GemmCounters {
+    COUNTERS.with(|c| c.get())
+}
+
+/// Zeroes this thread's GEMM counters (bench epochs).
+pub fn reset_counters() {
+    COUNTERS.with(|c| c.set(GemmCounters::default()));
+}
+
+/// Number of `MR`-row panels needed to cover `rows`.
+pub(crate) fn row_panels(rows: usize) -> usize {
+    rows.div_ceil(MR)
+}
+
+/// Length in floats of the packed-A buffer for `rows × k` (zero-padded to
+/// whole panels).
+pub(crate) fn packed_a_len(rows: usize, k: usize) -> usize {
+    row_panels(rows) * MR * k
+}
+
+/// Length in floats of the packed-B buffer for `k × n` (zero-padded to
+/// whole panels).
+pub(crate) fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k
+}
+
+/// Packs rows `rows` of the row-major `m? × k` matrix `a` into `MR`-row
+/// column-major panels: `out[panel][kk*MR + i] = a[(rows.start + panel*MR
+/// + i) * k + kk]`, zero-filling rows past `rows.end`.
+pub(crate) fn pack_a(a: &[f32], k: usize, rows: &Range<usize>, out: &mut [f32]) {
+    let span = rows.len();
+    let used = packed_a_len(span, k);
+    out[..used].fill(0.0);
+    for (off, r) in rows.clone().enumerate() {
+        let (panel, lane) = (off / MR, off % MR);
+        let dst = &mut out[panel * MR * k..(panel + 1) * MR * k];
+        for (kk, &v) in a[r * k..(r + 1) * k].iter().enumerate() {
+            dst[kk * MR + lane] = v;
+        }
+    }
+}
+
+/// [`pack_a`] through a row-index indirection: virtual row `i` of the left
+/// operand is `a.row(idx[i])`.
+pub(crate) fn pack_a_gathered(
+    a: &[f32],
+    idx: &[usize],
+    k: usize,
+    rows: &Range<usize>,
+    out: &mut [f32],
+) {
+    let span = rows.len();
+    let used = packed_a_len(span, k);
+    out[..used].fill(0.0);
+    for (off, r) in rows.clone().enumerate() {
+        let (panel, lane) = (off / MR, off % MR);
+        let dst = &mut out[panel * MR * k..(panel + 1) * MR * k];
+        let src = idx[r];
+        for (kk, &v) in a[src * k..(src + 1) * k].iter().enumerate() {
+            dst[kk * MR + lane] = v;
+        }
+    }
+}
+
+/// Packs *columns* `cols` of the row-major `m × c` matrix `a` as the rows
+/// of the virtual transpose `aᵀ`: panel lane `i` at inner index `kk` is
+/// `a[kk * c + (cols.start + panel*MR + i)]`. Reads are contiguous per
+/// `kk` row-slice of `a`.
+pub(crate) fn pack_at(a: &[f32], m: usize, c: usize, cols: &Range<usize>, out: &mut [f32]) {
+    let span = cols.len();
+    let used = packed_a_len(span, m);
+    out[..used].fill(0.0);
+    for kk in 0..m {
+        let a_row = &a[kk * c..(kk + 1) * c];
+        for (off, col) in cols.clone().enumerate() {
+            let (panel, lane) = (off / MR, off % MR);
+            out[panel * MR * m + kk * MR + lane] = a_row[col];
+        }
+    }
+}
+
+/// Packs the row-major `k × n` matrix `b` into `NR`-column row-major
+/// panels: `out[panel][kk*NR + j] = b[kk*n + panel*NR + j]`, zero-filling
+/// columns past `n`.
+pub(crate) fn pack_b(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    let used = packed_b_len(k, n);
+    out[..used].fill(0.0);
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let live = NR.min(n - j0);
+        let dst = &mut out[p * NR * k..(p + 1) * NR * k];
+        for kk in 0..k {
+            dst[kk * NR..kk * NR + live].copy_from_slice(&b[kk * n + j0..kk * n + j0 + live]);
+        }
+    }
+}
+
+/// Packs the *transpose* of the row-major `jn × k` matrix `b` (so the
+/// virtual right operand is `bᵀ`, `k × jn`): panel column `j` at inner
+/// index `kk` is `b[(j0 + j) * k + kk]`. Reads each `b` row contiguously.
+pub(crate) fn pack_bt(b: &[f32], jn: usize, k: usize, out: &mut [f32]) {
+    let used = packed_b_len(k, jn);
+    out[..used].fill(0.0);
+    let panels = jn.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let live = NR.min(jn - j0);
+        let dst = &mut out[p * NR * k..(p + 1) * NR * k];
+        for j in 0..live {
+            for (kk, &v) in b[(j0 + j) * k..(j0 + j + 1) * k].iter().enumerate() {
+                dst[kk * NR + j] = v;
+            }
+        }
+    }
+}
+
+/// Runs the packed tile loop for one partition: `pa` holds this
+/// partition's A panels (`span` live rows), `pb` the shared B panels for
+/// all `n` output columns, and `out` the partition's `span × n` row-major
+/// output chunk. With `acc` the tile product is *added* onto `out` (one
+/// `+` per element after the register fold — the `matmul_nt_acc`
+/// contract); otherwise it overwrites.
+///
+/// Every element's value is a fold over ascending `kk` from `0.0` in a
+/// fixed register lane, so the result is independent of panel boundaries,
+/// partitioning, and thread count.
+pub(crate) fn tile_loop(
+    be: Backend,
+    pa: &[f32],
+    pb: &[f32],
+    k: usize,
+    n: usize,
+    span: usize,
+    out: &mut [f32],
+    acc: bool,
+) {
+    debug_assert!(out.len() >= span.saturating_mul(n));
+    let rp = row_panels(span);
+    let cp = n.div_ceil(NR);
+    for pr in 0..rp {
+        let rows_live = MR.min(span - pr * MR);
+        let pa_panel = &pa[pr * MR * k..(pr + 1) * MR * k];
+        for pc in 0..cp {
+            let cols_live = NR.min(n - pc * NR);
+            let pb_panel = &pb[pc * NR * k..(pc + 1) * NR * k];
+            let c0 = pr * MR * n + pc * NR;
+            match be {
+                #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                // SAFETY: Avx2 is selected only after runtime checks of
+                // `avx2`+`fma` (see `detect`/`available`); panel slices
+                // carry `MR*k`/`NR*k` floats and the `rows_live×cols_live`
+                // corner at `c0` stays inside `out` by the tile geometry.
+                Backend::Avx2 => unsafe {
+                    avx2::kernel_8x8(
+                        k,
+                        pa_panel.as_ptr(),
+                        pb_panel.as_ptr(),
+                        out.as_mut_ptr().add(c0),
+                        n,
+                        rows_live,
+                        cols_live,
+                        acc,
+                    );
+                },
+                #[cfg(target_arch = "aarch64")]
+                // SAFETY: Neon is selected only when the runtime check
+                // `is_aarch64_feature_detected!("neon")` holds; the panel
+                // and output bounds argument is identical to the AVX2 arm
+                // (full packed panels, masked store stays inside `out`).
+                Backend::Neon => unsafe {
+                    neon::kernel_8x8(
+                        k,
+                        pa_panel.as_ptr(),
+                        pb_panel.as_ptr(),
+                        out.as_mut_ptr().add(c0),
+                        n,
+                        rows_live,
+                        cols_live,
+                        acc,
+                    );
+                },
+                // `Scalar` never reaches the tile loop (dense.rs routes it
+                // to the legacy kernels first); degrade defensively.
+                _ => generic::kernel_8x8(
+                    k,
+                    pa_panel,
+                    pb_panel,
+                    out,
+                    c0,
+                    n,
+                    rows_live,
+                    cols_live,
+                    acc,
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, salt: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i * 7 + 3) % 11) as f32 * 0.25 - 1.0 + salt).collect()
+    }
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        let k = 3;
+        let a = seq(5 * k, 0.0);
+        let mut out = vec![9.0; packed_a_len(5, k)];
+        pack_a(&a, k, &(0..5), &mut out);
+        // 5 rows -> one panel of 8 lanes; lane i at inner kk.
+        for r in 0..5 {
+            for kk in 0..k {
+                assert_eq!(out[kk * MR + r], a[r * k + kk]);
+            }
+        }
+        // Padded lanes are exact zeros for every kk.
+        for kk in 0..k {
+            for lane in 5..MR {
+                assert_eq!(out[kk * MR + lane].to_bits(), 0.0f32.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_and_bt_agree_on_transposed_input() {
+        let (k, n) = (4, 10);
+        let b = seq(k * n, 0.5);
+        // bt as an explicit n×k transpose of b.
+        let mut bt = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut p1 = vec![0.0; packed_b_len(k, n)];
+        let mut p2 = vec![0.0; packed_b_len(k, n)];
+        pack_b(&b, k, n, &mut p1);
+        pack_bt(&bt, n, k, &mut p2);
+        assert_eq!(p1, p2, "pack_bt of bᵀ must equal pack_b of b");
+    }
+
+    #[test]
+    fn pack_at_matches_pack_a_of_transpose() {
+        let (m, c) = (6, 5);
+        let a = seq(m * c, -0.25);
+        let mut at = vec![0.0; c * m];
+        for r in 0..m {
+            for j in 0..c {
+                at[j * m + r] = a[r * c + j];
+            }
+        }
+        let mut p1 = vec![0.0; packed_a_len(c, m)];
+        let mut p2 = vec![0.0; packed_a_len(c, m)];
+        pack_at(&a, m, c, &(0..c), &mut p1);
+        pack_a(&at, m, &(0..c), &mut p2);
+        assert_eq!(p1, p2, "pack_at must equal pack_a of the explicit transpose");
+    }
+
+    #[test]
+    fn generic_tile_loop_matches_naive_product() {
+        let (m, k, n) = (11, 5, 9);
+        let a = seq(m * k, 0.1);
+        let b = seq(k * n, -0.3);
+        let mut pa = vec![0.0; packed_a_len(m, k)];
+        let mut pb = vec![0.0; packed_b_len(k, n)];
+        pack_a(&a, k, &(0..m), &mut pa);
+        pack_b(&b, k, n, &mut pb);
+        let mut out = vec![0.0; m * n];
+        tile_loop(Backend::Generic, &pa, &pb, k, n, m, &mut out, false);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0f32;
+                for kk in 0..k {
+                    want += a[i * k + kk] * b[kk * n + j];
+                }
+                assert_eq!(out[i * n + j].to_bits(), want.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_overwrites_with_zeros_and_acc_preserves() {
+        let (m, n) = (3, 4);
+        let mut out = vec![7.0; m * n];
+        tile_loop(Backend::Generic, &[], &[], 0, n, m, &mut out, false);
+        assert!(out.iter().all(|&v| v == 0.0), "k=0 overwrite must zero the chunk");
+        let mut out = vec![7.0; m * n];
+        tile_loop(Backend::Generic, &[], &[], 0, n, m, &mut out, true);
+        assert!(out.iter().all(|&v| v == 7.0), "k=0 accumulate adds 0.0 to each element");
+    }
+
+    #[test]
+    fn forced_unavailable_backend_degrades_to_generic() {
+        // On any one machine at most one SIMD backend is available; the
+        // other must degrade. Exercise whichever is foreign here.
+        let foreign = if cfg!(target_arch = "aarch64") { Backend::Avx2 } else { Backend::Neon };
+        set_backend(Some(foreign));
+        assert_eq!(backend(), Backend::Generic);
+        set_backend(None);
+    }
+}

@@ -1,0 +1,78 @@
+//! aarch64 NEON 8×8 f32 microkernel over packed panels.
+//!
+//! Each output row's 8 columns live in two `float32x4_t` accumulators for
+//! the whole `k` loop; element `(i, j)` is a fixed lane folded with fused
+//! `FMLA` over ascending `kk` from `0.0`, so results are independent of
+//! partitioning and thread count — the same determinism argument as the
+//! AVX2 kernel.
+
+use std::arch::aarch64::{
+    float32x4_t, vaddq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vst1q_f32,
+};
+
+/// Computes one `8 × 8` register tile over packed panels `pa`
+/// (column-major `8 × k` A panel) and `pb` (row-major `k × 8` B panel),
+/// then stores the `rows × cols` live corner to `c` with row stride `rsc`
+/// — overwriting, or adding one `+` per element when `acc`.
+///
+/// # Safety
+/// Caller must guarantee NEON support (checked at backend selection via
+/// `is_aarch64_feature_detected!`), that `pa`/`pb` point to at least
+/// `8 * k` readable floats, and that `c + i*rsc + j` is writable for all
+/// `i < rows`, `j < cols` with `rows <= 8`, `cols <= min(8, rsc)`.
+// SAFETY: the `# Safety` contract above is the full argument — feature
+// availability is established by the dispatcher's runtime detection, and
+// the panel/output pointers are in-bounds by the tile geometry.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn kernel_8x8(
+    k: usize,
+    pa: *const f32,
+    pb: *const f32,
+    c: *mut f32,
+    rsc: usize,
+    rows: usize,
+    cols: usize,
+    acc: bool,
+) {
+    // SAFETY: delegated to the caller contract above — all pointer
+    // arithmetic stays inside the `8*k` panels and the `rows×cols` corner
+    // of `c`, and NEON availability was verified at backend selection.
+    unsafe {
+        let mut lo: [float32x4_t; 8] = [vdupq_n_f32(0.0); 8];
+        let mut hi: [float32x4_t; 8] = [vdupq_n_f32(0.0); 8];
+        for kk in 0..k {
+            let b0 = vld1q_f32(pb.add(kk * 8));
+            let b1 = vld1q_f32(pb.add(kk * 8 + 4));
+            for i in 0..8 {
+                let ai = vdupq_n_f32(*pa.add(kk * 8 + i));
+                lo[i] = vfmaq_f32(lo[i], ai, b0);
+                hi[i] = vfmaq_f32(hi[i], ai, b1);
+            }
+        }
+        for i in 0..rows {
+            let row = c.add(i * rsc);
+            if cols == 8 {
+                if acc {
+                    // One rounded `+` per element after the register fold:
+                    // bit-identical to temp-then-add_assign.
+                    vst1q_f32(row, vaddq_f32(vld1q_f32(row), lo[i]));
+                    vst1q_f32(row.add(4), vaddq_f32(vld1q_f32(row.add(4)), hi[i]));
+                } else {
+                    vst1q_f32(row, lo[i]);
+                    vst1q_f32(row.add(4), hi[i]);
+                }
+            } else {
+                let mut tmp = [0.0f32; 8];
+                vst1q_f32(tmp.as_mut_ptr(), lo[i]);
+                vst1q_f32(tmp.as_mut_ptr().add(4), hi[i]);
+                for (j, &v) in tmp.iter().enumerate().take(cols) {
+                    if acc {
+                        *row.add(j) += v;
+                    } else {
+                        *row.add(j) = v;
+                    }
+                }
+            }
+        }
+    }
+}

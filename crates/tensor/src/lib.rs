@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 mod dense;
+pub mod gemm;
 mod init;
 pub mod parallel;
 mod pool;

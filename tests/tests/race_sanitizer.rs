@@ -9,6 +9,7 @@ use dgnn_analysis::race_checker::{
     check_dispatches, check_dispatches_with, contract_names, AccessSpec, KernelContract,
     RaceViolation, Shape,
 };
+use dgnn_tensor::gemm;
 use dgnn_tensor::parallel::{self, FuzzSchedule};
 use dgnn_tensor::sanitize::{self, Access, OUT};
 use dgnn_tensor::{top_k_rows, Csr, CsrBuilder, Matrix};
@@ -74,7 +75,21 @@ fn csr(rows: usize, cols: usize, seed: u64) -> Csr {
 /// the public API drives it. Kept in one place so the battery test can
 /// assert the *proved* kernel set equals the registered set — adding a
 /// contract without extending this battery fails the admission test.
+///
+/// Runs twice: once on the legacy scalar backend (the historical `matmul`
+/// / `matmul_tn` / … kernel names) and once on the packed Generic backend
+/// (the `gemm_*_packed` dispatches — Generic is always available and
+/// records the same names as the SIMD backends), so both halves of the
+/// contract table prove out on every machine.
 fn run_kernel_battery() {
+    gemm::set_backend(Some(gemm::Backend::Scalar));
+    run_backend_battery();
+    gemm::set_backend(Some(gemm::Backend::Generic));
+    run_backend_battery();
+    gemm::set_backend(None);
+}
+
+fn run_backend_battery() {
     let a = mat(12, 8, 1);
     let b = mat(8, 12, 2);
     let g = mat(12, 8, 3);
@@ -107,6 +122,7 @@ fn run_kernel_battery() {
     let _ = a.mul_row_fused(&row); // mul_row_fused
     let _ = a.mul_col_fused(&col); // mul_col_fused
     let _ = a.gather_matmul(&idx, &b); // gather_matmul
+    let _ = a.gather_matmul_nt(&idx, &g); // gather_matmul_nt (packed) / matmul_nt (scalar)
     let _ = a.gather_rows(&idx); // gather_rows
     let mut sc = Matrix::zeros(12, 8);
     sc.scatter_add_rows(&idx, &a); // scatter_add_rows
