@@ -56,6 +56,13 @@
 //!    nearby `// SIMD:` comment — hand-rolled SIMD scattered through the
 //!    codebase bypasses the backend-selection, feature-detection, and
 //!    determinism contracts the GEMM subsystem centralizes.
+//! 15. shard-bounds: raw segment I/O — `mmap` / `munmap` / `pread` /
+//!    `read_at(` / `read_exact_at(` — outside the shard-loader module
+//!    (`crates/serve/src/shard.rs`) needs a nearby `// SHARD:` comment.
+//!    The loader module is the one place that owns mapped-region
+//!    lifetimes and pre-allocation length checks; scattered positional
+//!    I/O reintroduces exactly the unchecked-length / dangling-map bugs
+//!    the segmented checkpoint format's corruption tests pin down.
 //!
 //! `target/` and `third_party/` directories are never scanned.
 //!
@@ -110,6 +117,11 @@ struct Needles {
     gauge_set: String,
     counter_add: String,
     hist_merge: String,
+    map_sys: String,
+    unmap_sys: String,
+    pread_sys: String,
+    read_at_pos: String,
+    read_exact_at_pos: String,
 }
 
 impl Needles {
@@ -136,6 +148,11 @@ impl Needles {
             gauge_set: format!("gauge_s{}(", "et"),
             counter_add: format!("counter_a{}(", "dd"),
             hist_merge: format!("hist_mer{}(", "ge"),
+            map_sys: format!("mm{}", "ap"),
+            unmap_sys: format!("munm{}", "ap"),
+            pread_sys: format!("pre{}", "ad"),
+            read_at_pos: format!("read_{}(", "at"),
+            read_exact_at_pos: format!("read_exact_{}(", "at"),
         }
     }
 }
@@ -450,6 +467,10 @@ fn lint_file(
             .windows(4)
             .any(|w| w.iter().map(|c| c.as_os_str()).eq(marker.iter()))
     };
+    // Rule 15 exempts the shard-loader module, the one place that owns
+    // mapped-region lifetimes and segment read bounds; everywhere else
+    // positional segment I/O must justify why it is not loader business.
+    let shard_scope = !file.ends_with(Path::new("serve/src/shard.rs"));
     // Rule 9 applies to the serving tier, which must fail soft: request
     // handling answers bad input with 4xx/5xx JSON, never a panic.
     let serve_scope = {
@@ -662,6 +683,25 @@ fn lint_file(
                     .to_string(),
             });
         }
+        if shard_scope
+            && (contains_word(&code, needles.map_sys.as_str())
+                || contains_word(&code, needles.unmap_sys.as_str())
+                || contains_word(&code, needles.pread_sys.as_str())
+                || contains_prefix_bounded(&code, needles.read_at_pos.as_str())
+                || contains_prefix_bounded(&code, needles.read_exact_at_pos.as_str()))
+            && !has_marker(&lines, i, "SHARD:")
+        {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "shard-bounds",
+                detail: "raw segment I/O (map/positional read) outside \
+                         crates/serve/src/shard.rs without a nearby \
+                         // SHARD: comment; mapped-region lifetimes and \
+                         length-checked reads belong to the shard loader"
+                    .to_string(),
+            });
+        }
         if contract_scope
             && (code.contains(needles.par_chunks.as_str())
                 || code.contains(needles.par_chunks_scratch.as_str())
@@ -721,6 +761,40 @@ fn lint_file(
             }
         }
     }
+}
+
+/// Word-boundary match: `needle` must not be embedded in a longer
+/// identifier on either side (so `spread` never trips the `pread` check).
+fn contains_word(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &code[abs + needle.len()..];
+        let after_ok = !after.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Like [`contains_word`] but for needles that already end in `(`: only
+/// the leading boundary needs checking.
+fn contains_prefix_bounded(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
 }
 
 /// Word-boundary match for the `unsafe` keyword.
@@ -1004,6 +1078,45 @@ mod tests {
         // The GEMM kernel module owns raw SIMD.
         violations.clear();
         lint_file(Path::new("crates/tensor/src/gemm/avx2.rs"), &text, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_bounds_rule_exempts_the_loader_module() {
+        let needles = Needles::new();
+        let mut violations = Vec::new();
+        let mut todos = 0;
+        let text = format!("let n = file.{}&mut buf, off)?;\n", needles.read_at_pos);
+
+        // Positional segment I/O outside the loader fires.
+        lint_file(Path::new("crates/serve/src/engine.rs"), &text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1, "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert_eq!(violations[0].rule, "shard-bounds");
+
+        // Raw map syscalls are covered by the same rule.
+        violations.clear();
+        let map_text = format!("let p = {}(core::ptr::null_mut(), len);\n", needles.map_sys);
+        lint_file(Path::new("crates/tensor/src/dense.rs"), &map_text, &needles, &mut violations, &mut todos);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "shard-bounds");
+
+        // A SHARD: marker within the window justifies it.
+        violations.clear();
+        let justified = format!(
+            "// SHARD: gauge plumbing reading procfs, not segment bytes\n{text}"
+        );
+        lint_file(Path::new("crates/obs/src/procstat.rs"), &justified, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // The shard loader owns raw maps and positional reads.
+        violations.clear();
+        lint_file(Path::new("crates/serve/src/shard.rs"), &map_text, &needles, &mut violations, &mut todos);
+        assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
+
+        // Identifier boundaries hold: `spread` is not `pread`.
+        violations.clear();
+        let word = format!("let s{} = 1.0;\n", needles.pread_sys);
+        lint_file(Path::new("crates/core/src/model.rs"), &word, &needles, &mut violations, &mut todos);
         assert!(violations.is_empty(), "got {:?}", violations.iter().map(|v| v.rule).collect::<Vec<_>>());
     }
 

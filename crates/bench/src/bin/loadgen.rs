@@ -24,11 +24,18 @@
 //! (rotating start, best-of — the same drift defense as the profile
 //! gates), published as `serve/obs_overhead_ratio`.
 //!
+//! Clients draw users from a seeded Zipf(θ) distribution
+//! ([`dgnn_bench::zipf`]) — head-heavy like real recommendation traffic —
+//! instead of striding uniformly over the user space.
+//!
 //! ```text
 //! loadgen                   run and write BENCH_serve.json + results/dgnn.ckpt
 //! loadgen --check PATH      no artifacts; exit 1 on zero successful
 //!                           requests, >25% qps regression vs. PATH, or
 //!                           obs-enabled qps < 0.9x obs-disabled qps
+//! loadgen --scale           run the scale tier instead: sharded store,
+//!                           lazy load, 64 Zipf clients -> BENCH_scale.json
+//! loadgen --scale --check PATH   scale tier with its regression gates
 //! ```
 //!
 //! qps is machine- and load-dependent; the 25% budget (matching the
@@ -39,10 +46,12 @@ use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use dgnn_bench::zipf::Zipf;
 use dgnn_core::{Dgnn, DgnnConfig};
 use dgnn_data::tiny;
 use dgnn_eval::Trainable;
 use dgnn_obs::export::snapshot_to_json;
+use dgnn_obs::procstat;
 use dgnn_serve::{Engine, Query, ServeConfig, Server};
 use dgnn_tensor::{top_k_rows, Matrix};
 
@@ -64,6 +73,11 @@ const OVERHEAD_ROUNDS: usize = 3;
 const OVERHEAD_REQUESTS: usize = 60;
 /// The serving phases traced per request, in pipeline order.
 const PHASES: [&str; 5] = ["parse", "queue_wait", "batch_assembly", "engine", "write"];
+/// Zipf exponent of the serve tier's request distribution: mildly
+/// head-heavy, so the tiny user space still gets broad coverage while the
+/// hot users repeat (the scale tier uses a steeper θ; see
+/// `dgnn_bench::scale_tier`).
+const ZIPF_THETA: f64 = 1.1;
 
 fn quick_dgnn() -> DgnnConfig {
     DgnnConfig {
@@ -104,14 +118,16 @@ fn http_raw(addr: SocketAddr, payload: &[u8]) -> std::io::Result<String> {
 /// Closed-loop client load; returns (ok, err, elapsed_secs).
 fn drive_load(addr: SocketAddr, num_users: usize, requests_per_client: usize) -> (u64, u64, f64) {
     let started = Instant::now();
+    let base = Zipf::new(num_users, ZIPF_THETA, SEED);
     let mut handles = Vec::new();
     for c in 0..CLIENTS {
+        let mut z = base.fork(c as u64);
         // PAR: benchmark client threads generating socket load against the
         // server under test — not kernel work.
         handles.push(std::thread::spawn(move || {
             let (mut ok, mut err) = (0u64, 0u64);
             for r in 0..requests_per_client {
-                let user = (c * requests_per_client + r * 7) % num_users;
+                let user = z.sample();
                 let k = 5 + (r % 3) * 5;
                 match http_get(addr, &format!("/recommend?user={user}&k={k}")) {
                     Ok((200, _)) => ok += 1,
@@ -343,6 +359,16 @@ fn main() -> ExitCode {
         args.get(i + 1).unwrap_or_else(|| panic!("loadgen: --check requires a path argument"))
     });
 
+    if args.iter().any(|a| a == "--scale") {
+        return match dgnn_bench::scale_tier::run(check_path.map(String::as_str)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     println!("=== Serving load harness (tiny dataset, quick DGNN) ===");
     let data = tiny(SEED);
     let mut model = Dgnn::new(quick_dgnn());
@@ -429,6 +455,11 @@ fn main() -> ExitCode {
     dgnn_obs::gauge_set("serve/checkpoint_bytes", ckpt_bytes as f64);
     dgnn_obs::gauge_set("serve/topk_speedup_vs_sort", speedup);
     dgnn_obs::gauge_set("serve/obs_overhead_ratio", obs_overhead);
+    dgnn_obs::gauge_set("serve/zipf_theta", ZIPF_THETA);
+    if let (Some(rss), Some(peak)) = (procstat::rss_bytes(), procstat::peak_rss_bytes()) {
+        dgnn_obs::gauge_set(procstat::RSS_GAUGE, rss as f64);
+        dgnn_obs::gauge_set(procstat::PEAK_RSS_GAUGE, peak as f64);
+    }
     dgnn_obs::counter_add("serve/smoke_failures", smoke_failures as u64);
     dgnn_obs::counter_add("serve/scrape_failures", scrape_failures as u64);
     dgnn_obs::counter_add("serve/consistency_failures", consistency_failures);

@@ -8,6 +8,9 @@
 
 #![warn(missing_docs)]
 
+pub mod scale_tier;
+pub mod zipf;
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

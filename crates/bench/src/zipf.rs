@@ -1,0 +1,158 @@
+//! Seeded Zipf request sampler for the serving load tiers.
+//!
+//! Real recommendation traffic is head-heavy: a small set of users issues
+//! most requests. The load harnesses used to stride uniformly over the
+//! user space, which understates cache/residency effects at small scale
+//! and *overstates* shard fan-out at large scale (uniform traffic touches
+//! every shard immediately, hiding exactly the laziness `BENCH_scale.json`
+//! exists to measure). Both the serve tier and the scale tier now draw
+//! users from a Zipf(θ) distribution: rank `k` (0-based user id `k`) is
+//! requested with probability `(1/(k+1)^θ) / H_{n,θ}` where `H_{n,θ}` is
+//! the generalized harmonic number.
+//!
+//! Sampling is inverse-CDF over a precomputed table shared between client
+//! threads (`Arc<[f64]>` — one table per distribution, not per client),
+//! with a per-client xorshift* state so concurrent clients draw
+//! decorrelated streams from identical seeds deterministically. No
+//! dependency on `rand`: the harness keeps its own generator so load
+//! replay is stable even if the workspace RNG evolves.
+
+use std::sync::Arc;
+
+/// A seeded Zipf(θ) sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Arc<[f64]>,
+    state: u64,
+}
+
+impl Zipf {
+    /// Builds the distribution table for `n` ranks at exponent `theta`
+    /// and seeds the stream.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta` is not finite — harness
+    /// configuration errors, not data.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(theta.is_finite() && theta >= 0.0, "non-finite Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf: cdf.into(), state: mix(seed) }
+    }
+
+    /// A decorrelated stream over the same distribution (the table is
+    /// shared, only the generator state forks). Client `i` of a load
+    /// harness uses `fork(i)`.
+    pub fn fork(&self, stream: u64) -> Self {
+        Self { cdf: Arc::clone(&self.cdf), state: mix(self.state ^ mix(stream.wrapping_add(1))) }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws the next rank in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        // xorshift64* — tiny, seeded, good enough for load shaping.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let bits = self.state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        // First index whose cumulative mass covers u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Analytic probability of rank `k` (0-based) — exposed for tests and
+    /// for sizing expected shard fan-out.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// SplitMix64 finalizer: hardens small/related seeds into full-entropy
+/// xorshift states (a raw small seed would start the stream near zero).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let out = z ^ (z >> 31);
+    if out == 0 {
+        0x9E37_79B9_7F4A_7C15 // xorshift must never be seeded with zero
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_forked_streams_differ() {
+        let mut a = Zipf::new(100, 1.0, 7);
+        let mut b = Zipf::new(100, 1.0, 7);
+        let seq_a: Vec<usize> = (0..50).map(|_| a.sample()).collect();
+        let seq_b: Vec<usize> = (0..50).map(|_| b.sample()).collect();
+        assert_eq!(seq_a, seq_b, "same seed must replay the same stream");
+        let mut c = Zipf::new(100, 1.0, 7).fork(1);
+        let seq_c: Vec<usize> = (0..50).map(|_| c.sample()).collect();
+        assert_ne!(seq_a, seq_c, "forked stream must decorrelate");
+    }
+
+    #[test]
+    fn frequencies_match_analytic_top_ranks() {
+        let n = 1_000;
+        let theta = 1.1;
+        let draws = 200_000usize;
+        let mut z = Zipf::new(n, theta, 2023);
+        let mut counts = vec![0u32; n];
+        for _ in 0..draws {
+            counts[z.sample()] += 1;
+        }
+        // The top ranks carry enough mass for a tight relative check:
+        // P(0) ≈ 0.13 at θ=1.1, so 200k draws give ~26k hits (±1% at 3σ).
+        for k in 0..8 {
+            let expect = z.pmf(k) * draws as f64;
+            let got = f64::from(counts[k]);
+            let rel = (got - expect).abs() / expect;
+            assert!(
+                rel < 0.05,
+                "rank {k}: observed {got}, analytic {expect:.0} (rel err {rel:.3})"
+            );
+        }
+        // Mass must decay along ranks overall (smoothed: head vs tail).
+        let head: u32 = counts[..n / 10].iter().sum();
+        let tail: u32 = counts[n - n / 10..].iter().sum();
+        assert!(head > tail * 10, "head mass {head} not dominating tail {tail}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_samples_stay_in_range() {
+        let mut z = Zipf::new(37, 1.4, 5);
+        let total: f64 = (0..37).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 37);
+        }
+        // theta = 0 degenerates to uniform: pmf flat.
+        let u = Zipf::new(10, 0.0, 1);
+        for k in 0..10 {
+            assert!((u.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+}

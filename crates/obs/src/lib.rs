@@ -58,6 +58,7 @@
 pub mod export;
 pub mod flight;
 pub mod percentile;
+pub mod procstat;
 pub mod shared;
 pub mod streamhist;
 

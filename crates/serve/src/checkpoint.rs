@@ -74,6 +74,20 @@ pub enum CheckpointError {
     /// The metadata block disagrees with what the consumer expects
     /// (wrong model kind, undecodable config, …).
     MetaMismatch(String),
+    /// A segment named by a segmented-checkpoint manifest is absent.
+    MissingSegment(String),
+    /// A `.seg` file exists that the manifest does not name.
+    ExtraSegment(String),
+    /// A segment file's bytes do not hash to the digest the manifest
+    /// recorded for it (whole-file CRC32, checked before parsing).
+    SegmentDigestMismatch {
+        /// Segment file name.
+        segment: String,
+        /// Digest stored in the manifest.
+        stored: u32,
+        /// Digest recomputed from the file bytes.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -94,6 +108,12 @@ impl fmt::Display for CheckpointError {
             Self::MissingTensor(name) => write!(f, "checkpoint is missing tensor {name:?}"),
             Self::BadShape(why) => write!(f, "checkpoint tensor has unusable shape: {why}"),
             Self::MetaMismatch(why) => write!(f, "checkpoint metadata mismatch: {why}"),
+            Self::MissingSegment(name) => write!(f, "manifest names segment {name:?} but the file is missing"),
+            Self::ExtraSegment(name) => write!(f, "segment file {name:?} is not named by the manifest"),
+            Self::SegmentDigestMismatch { segment, stored, computed } => write!(
+                f,
+                "segment {segment:?} digest mismatch (manifest {stored:#010x}, computed {computed:#010x})"
+            ),
         }
     }
 }

@@ -58,6 +58,15 @@ pub enum QueryError {
         /// Number of items the model was trained on.
         num_items: usize,
     },
+    /// A lazily-loaded embedding shard could not be brought resident
+    /// (missing/corrupt segment at first touch). Maps to 503 — the query
+    /// was valid; the backend is degraded.
+    ShardUnavailable {
+        /// Index of the failing shard.
+        shard: u32,
+        /// Typed load error, stringified for the response body.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -69,16 +78,24 @@ impl fmt::Display for QueryError {
             Self::BadK { k, num_items } => {
                 write!(f, "invalid k = {k} (must be in 1..={num_items})")
             }
+            Self::ShardUnavailable { shard, detail } => {
+                write!(f, "embedding shard {shard} unavailable: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for QueryError {}
 
-/// In-memory inference state: precomputed scoring embeddings plus the
-/// per-user seen-item lists.
-pub struct Engine {
-    meta: BTreeMap<String, String>,
+/// Serving state behind the engine: either the classic dense tables or a
+/// lazily-loaded sharded store over a segmented checkpoint.
+enum Backend {
+    Dense(DenseStore),
+    Sharded(crate::shard::LazyStore),
+}
+
+/// The original fully-resident backing: everything loaded up front.
+struct DenseStore {
     /// User scoring embeddings — recalibrated when τ was stored.
     user: Matrix,
     /// Final propagated item embeddings.
@@ -90,25 +107,39 @@ pub struct Engine {
     seen_items: Vec<u32>,
 }
 
+/// In-memory inference state: precomputed scoring embeddings plus the
+/// per-user seen-item lists, fully resident (dense checkpoints) or
+/// faulted in shard-by-shard (segmented checkpoints).
+pub struct Engine {
+    meta: BTreeMap<String, String>,
+    backend: Backend,
+}
+
+/// Resolves the user *scoring* table of a monolithic checkpoint, in
+/// preference order: `final/user` + the `tau/{indptr,cols,values}` CSR
+/// triple (recalibration re-applied with the same kernels training used),
+/// `final/user_scoring` (pre-recalibrated), or bare `final/user`.
+pub(crate) fn resolve_user_scoring(ckpt: &Checkpoint) -> Result<Matrix, CheckpointError> {
+    if ckpt.tensor("tau/indptr").is_some() {
+        let base = ckpt.matrix("final/user")?;
+        let tau = load_csr(ckpt, "tau", base.rows(), base.rows())?;
+        // Same kernels, same order as Dgnn::finalize: u + τ·u.
+        Ok(base.add(&tau.spmm(&base)))
+    } else if ckpt.tensor("final/user_scoring").is_some() {
+        ckpt.matrix("final/user_scoring")
+    } else {
+        ckpt.matrix("final/user")
+    }
+}
+
 impl Engine {
-    /// Builds an engine from a parsed checkpoint.
+    /// Builds a dense (fully-resident) engine from a parsed checkpoint.
     ///
-    /// Expects `final/item` plus one of (in preference order):
-    /// `final/user` + the `tau/{indptr,cols,values}` CSR triple
-    /// (recalibration re-applied at load time), `final/user_scoring`
-    /// (pre-recalibrated), or bare `final/user`.
+    /// Expects `final/item` plus a user table as described by
+    /// [`resolve_user_scoring`].
     pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
         let item = ckpt.matrix("final/item")?;
-        let user = if ckpt.tensor("tau/indptr").is_some() {
-            let base = ckpt.matrix("final/user")?;
-            let tau = load_csr(ckpt, "tau", base.rows(), base.rows())?;
-            // Same kernels, same order as Dgnn::finalize: u + τ·u.
-            base.add(&tau.spmm(&base))
-        } else if ckpt.tensor("final/user_scoring").is_some() {
-            ckpt.matrix("final/user_scoring")?
-        } else {
-            ckpt.matrix("final/user")?
-        };
+        let user = resolve_user_scoring(ckpt)?;
         if user.cols() != item.cols() {
             return Err(CheckpointError::BadShape(format!(
                 "user dim {} != item dim {}",
@@ -125,12 +156,40 @@ impl Engine {
             }
             None => (Vec::new(), Vec::new()),
         };
-        Ok(Self { meta: ckpt.meta_entries().map(|(k, v)| (k.to_string(), v.to_string())).collect(), user, item, seen_indptr, seen_items })
+        Ok(Self {
+            meta: ckpt.meta_entries().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            backend: Backend::Dense(DenseStore { user, item, seen_indptr, seen_items }),
+        })
     }
 
     /// Loads a checkpoint file and builds the engine.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         Self::from_checkpoint(&Checkpoint::load(path)?)
+    }
+
+    /// Opens a segmented checkpoint directory as a lazily-loaded sharded
+    /// engine (`DGNN_MMAP` read from the environment). Only the manifest
+    /// is read here — startup cost and RSS scale with *touched* shards,
+    /// not table size.
+    pub fn open_segmented(dir: &Path) -> Result<Self, CheckpointError> {
+        Self::open_segmented_with(dir, crate::shard::MapMode::from_env())
+    }
+
+    /// [`Engine::open_segmented`] with an explicit [`MapMode`].
+    ///
+    /// [`MapMode`]: crate::shard::MapMode
+    pub fn open_segmented_with(dir: &Path, mode: crate::shard::MapMode) -> Result<Self, CheckpointError> {
+        let seg = crate::segment::SegmentedCheckpoint::open_with(dir, mode)?;
+        let meta = seg.meta_entries().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        Ok(Self { meta, backend: Backend::Sharded(crate::shard::LazyStore::new(seg)) })
+    }
+
+    /// Shard residency snapshot — `None` for dense engines.
+    pub fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        match &self.backend {
+            Backend::Dense(_) => None,
+            Backend::Sharded(s) => Some(s.stats()),
+        }
     }
 
     /// Metadata entry from the source checkpoint (e.g. `model`).
@@ -140,26 +199,40 @@ impl Engine {
 
     /// Number of users the model covers.
     pub fn num_users(&self) -> usize {
-        self.user.rows()
+        match &self.backend {
+            Backend::Dense(d) => d.user.rows(),
+            Backend::Sharded(s) => s.num_users(),
+        }
     }
 
     /// Number of items the model covers.
     pub fn num_items(&self) -> usize {
-        self.item.rows()
+        match &self.backend {
+            Backend::Dense(d) => d.item.rows(),
+            Backend::Sharded(s) => s.num_items(),
+        }
     }
 
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
-        self.item.cols()
+        match &self.backend {
+            Backend::Dense(d) => d.item.cols(),
+            Backend::Sharded(s) => s.dim(),
+        }
     }
 
     /// The user's training interactions (empty when unknown or unstored).
     pub fn seen(&self, user: u32) -> &[u32] {
-        let u = user as usize;
-        if u + 1 >= self.seen_indptr.len() {
-            return &[];
+        match &self.backend {
+            Backend::Dense(d) => {
+                let u = user as usize;
+                if u + 1 >= d.seen_indptr.len() {
+                    return &[];
+                }
+                &d.seen_items[d.seen_indptr[u] as usize..d.seen_indptr[u + 1] as usize]
+            }
+            Backend::Sharded(s) => s.seen(user as usize),
         }
-        &self.seen_items[self.seen_indptr[u] as usize..self.seen_indptr[u + 1] as usize]
     }
 
     fn check(&self, q: &Query) -> Result<(), QueryError> {
@@ -176,8 +249,27 @@ impl Engine {
     /// model's dot-product scorer over every item.
     pub fn scores_for(&self, user: u32) -> Result<Vec<f32>, QueryError> {
         self.check(&Query { user, k: 1, exclude_seen: false })?;
-        let rows = self.user.gather_rows(&[user as usize]);
-        Ok(rows.matmul_nt(&self.item).as_slice().to_vec())
+        match &self.backend {
+            Backend::Dense(d) => {
+                let rows = d.user.gather_rows(&[user as usize]);
+                Ok(rows.matmul_nt(&d.item).as_slice().to_vec())
+            }
+            Backend::Sharded(s) => {
+                let row = s
+                    .user_row(user as usize)
+                    .map_err(|(shard, detail)| QueryError::ShardUnavailable { shard: shard as u32, detail })?
+                    .to_vec();
+                let rows = Matrix::from_vec(1, s.dim(), row);
+                let mut out = vec![0.0f32; s.num_items()];
+                for (si, lo, hi) in s.item_spec().iter_ranges() {
+                    let shard = s
+                        .item_shard(si)
+                        .map_err(|detail| QueryError::ShardUnavailable { shard: si as u32, detail })?;
+                    out[lo..hi].copy_from_slice(rows.matmul_nt(shard).as_slice());
+                }
+                Ok(out)
+            }
+        }
     }
 
     /// Answers one query. Equivalent to a single-element
@@ -213,9 +305,29 @@ impl Engine {
         let users: Vec<usize> = valid.iter().map(|&i| queries[i].user as usize).collect();
         let telemetry = crate::trace::telemetry();
         let t0 = dgnn_obs::now_ns();
-        let mut scores = self.user.gather_matmul_nt(&users, &self.item);
+        let mut scores = match &self.backend {
+            Backend::Dense(d) => d.user.gather_matmul_nt(&users, &d.item),
+            Backend::Sharded(s) => match score_sharded(s, &users) {
+                Ok((scores, row_errs)) => {
+                    for (row, &i) in valid.iter().enumerate() {
+                        if let Some(e) = row_errs[row].clone() {
+                            out[i] = Err(e);
+                        }
+                    }
+                    scores
+                }
+                Err(e) => {
+                    // An item shard is unloadable: no query in the batch
+                    // can be scored over the full catalog.
+                    for &i in &valid {
+                        out[i] = Err(e.clone());
+                    }
+                    return out;
+                }
+            },
+        };
         for (row, &i) in valid.iter().enumerate() {
-            if queries[i].exclude_seen {
+            if queries[i].exclude_seen && out[i].is_ok() {
                 let r = scores.row_mut(row);
                 for &it in self.seen(queries[i].user) {
                     if let Some(s) = r.get_mut(it as usize) {
@@ -230,6 +342,9 @@ impl Engine {
         telemetry.gather_matmul_ms.record(t1.saturating_sub(t0) as f64 / 1e6);
         telemetry.topk_ms.record(dgnn_obs::now_ns().saturating_sub(t1) as f64 / 1e6);
         for (row, &i) in valid.iter().enumerate() {
+            if out[i].is_err() {
+                continue;
+            }
             let items: Vec<ScoredItem> = top
                 .row(row)
                 .take(queries[i].k)
@@ -240,6 +355,47 @@ impl Engine {
         }
         out
     }
+}
+
+/// Scores a gathered user batch against every item shard, loading shards
+/// on demand. Returns the full `batch × num_items` score matrix plus
+/// per-row user-shard failures (those rows score as zeros and their
+/// queries answer 503 individually). An unloadable *item* shard fails the
+/// whole batch — every query needs the full catalog.
+///
+/// Bit-identity: rows are gathered byte-for-byte from their shards and
+/// each column block is produced by the same fused `gather_matmul_nt`
+/// kernel the dense path uses. Every score element is a fold over the
+/// same (user row, item row) pair in the same lane order, so the sharded
+/// matrix equals the dense engine's `gather_matmul_nt` element-for-element
+/// at every thread count and GEMM backend.
+fn score_sharded(
+    store: &crate::shard::LazyStore,
+    users: &[usize],
+) -> Result<(Matrix, Vec<Option<QueryError>>), QueryError> {
+    let n = users.len();
+    let mut batch = Matrix::zeros(n, store.dim());
+    let mut row_errs: Vec<Option<QueryError>> = vec![None; n];
+    for (row, &u) in users.iter().enumerate() {
+        match store.user_row(u) {
+            Ok(r) => batch.set_row(row, r),
+            Err((shard, detail)) => {
+                row_errs[row] = Some(QueryError::ShardUnavailable { shard: shard as u32, detail });
+            }
+        }
+    }
+    let idx: Vec<usize> = (0..n).collect();
+    let mut scores = Matrix::zeros(n, store.num_items());
+    for (si, lo, hi) in store.item_spec().iter_ranges() {
+        let shard = store
+            .item_shard(si)
+            .map_err(|detail| QueryError::ShardUnavailable { shard: si as u32, detail })?;
+        let part = batch.gather_matmul_nt(&idx, shard);
+        for row in 0..n {
+            scores.row_mut(row)[lo..hi].copy_from_slice(part.row(row));
+        }
+    }
+    Ok((scores, row_errs))
 }
 
 /// Rebuilds a CSR stored as the `{prefix}/{indptr,cols,values}` triple.
@@ -285,7 +441,7 @@ fn load_csr(ckpt: &Checkpoint, prefix: &str, rows: usize, cols: usize) -> Result
     Ok(b.build())
 }
 
-fn validate_lists(indptr: &[u32], items: &[u32], users: usize, num_items: usize) -> Result<(), CheckpointError> {
+pub(crate) fn validate_lists(indptr: &[u32], items: &[u32], users: usize, num_items: usize) -> Result<(), CheckpointError> {
     if indptr.len() != users + 1 {
         return Err(CheckpointError::BadShape(format!(
             "seen/indptr len {} (want {})",

@@ -421,14 +421,19 @@ fn route(
             ),
         ),
         "/recommend" => recommend_route(query_string, job_tx, ctx.cfg, trace),
-        "/metrics" => Response {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: dgnn_obs::export::prometheus_text(
-                &dgnn_obs::shared::snapshot(),
-                &dgnn_obs::shared::hist_snapshots(),
-            ),
-        },
+        "/metrics" => {
+            // Refresh the process RSS gauges so every scrape carries
+            // current residency next to the serve counters.
+            dgnn_obs::procstat::publish_rss();
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: dgnn_obs::export::prometheus_text(
+                    &dgnn_obs::shared::snapshot(),
+                    &dgnn_obs::shared::hist_snapshots(),
+                ),
+            }
+        }
         "/stats" => Response::json(
             200,
             dgnn_obs::export::snapshot_to_json(&dgnn_obs::shared::snapshot(), 0),
@@ -472,6 +477,8 @@ fn recommend_route(
                 Ok(items) => Response::json(200, recommendation_body(&query, &items)),
                 Err(e @ QueryError::UnknownUser { .. }) => Response::error(404, &e.to_string()),
                 Err(e @ QueryError::BadK { .. }) => Response::error(400, &e.to_string()),
+                // Valid query, degraded backend (unloadable shard): 503.
+                Err(e @ QueryError::ShardUnavailable { .. }) => Response::error(503, &e.to_string()),
             }
         }
         Err(_) => Response::error(503, "query timed out"),

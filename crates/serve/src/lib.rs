@@ -5,6 +5,9 @@
 //! 1. [`checkpoint`] — a versioned, checksummed little-endian binary
 //!    format for named tensors plus model metadata. Loading untrusted
 //!    bytes returns [`CheckpointError`], never panics.
+//!    Segmented checkpoints ([`segment`]) extend the same guarantees to a
+//!    manifest-plus-shard-files layout, and [`shard`] lazily faults those
+//!    shards in (mmap or pread, `DGNN_MMAP` knob) at serve time.
 //! 2. [`engine`] — loads a checkpoint, materializes the post-propagation
 //!    scoring embeddings once (re-applying the Eq. 9–10 social
 //!    recalibration when τ is stored), and answers top-K queries with a
@@ -33,6 +36,8 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod http;
+pub mod segment;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 
@@ -43,6 +48,8 @@ use dgnn_eval::EmbeddingExport;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use engine::{Engine, Query, QueryError, ScoredItem};
 pub use http::{ServeConfig, Server};
+pub use segment::{save_segmented, SegmentedCheckpoint, SegmentedSummary, SegmentedWriter, UserShard};
+pub use shard::{MapMode, ShardStats};
 pub use stats::{ServerStats, StatsSummary};
 pub use trace::{PhaseBreakdown, RequestTrace, ServeTelemetry};
 

@@ -19,12 +19,14 @@ mod init;
 pub mod parallel;
 mod pool;
 pub mod sanitize;
+pub mod sharded;
 mod sparse;
 pub mod topk;
 
 pub use dense::{stable_sigmoid, Matrix};
 pub use init::{xavier_uniform, Init};
 pub use pool::{alloc_counters, recycle, recycle_vec, reset_alloc_counters, BufferPool};
+pub use sharded::{ShardSpec, ShardedTable};
 pub use sparse::{Csr, CsrBuilder};
 pub use topk::{top_k_row, top_k_rows, TopK};
 

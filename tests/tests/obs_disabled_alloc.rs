@@ -116,6 +116,28 @@ fn flight_recorder_and_shared_registry_steady_state_never_allocate() {
 }
 
 #[test]
+fn rss_read_path_never_allocates_after_warmup() {
+    use dgnn_obs::procstat;
+
+    // Warm up outside the window: the first call opens the cached
+    // `/proc/self/statm` fd, resolves the page size from auxv, and
+    // registers the shared gauge handles (one Box::leak per name).
+    if procstat::rss_bytes().is_none() {
+        return; // no procfs on this target — nothing to measure
+    }
+    procstat::publish_rss();
+
+    let before = local_allocs();
+    for _ in 0..1_000 {
+        let _ = std::hint::black_box(procstat::rss_bytes());
+        let _ = std::hint::black_box(procstat::peak_rss_bytes());
+        procstat::publish_rss();
+    }
+    let allocs = local_allocs() - before;
+    assert_eq!(allocs, 0, "statm read/publish path must be allocation-free after warmup");
+}
+
+#[test]
 fn disabled_sanitizer_dispatch_path_never_allocates() {
     use dgnn_tensor::{parallel, sanitize};
 
